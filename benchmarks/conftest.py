@@ -1,0 +1,60 @@
+"""Shared benchmark infrastructure.
+
+Every figure of the paper's evaluation has one module here.  Each bench
+
+1. runs the figure's sweep (all algorithms over the x-axis),
+2. times SP-Cube's run at the largest point through pytest-benchmark,
+3. renders the figure's panels as text tables into
+   ``benchmarks/results/<figure>.txt`` (and stdout), and
+4. asserts the figure's qualitative claims (who wins, where Hive fails,
+   how traffic compares).
+
+Scale note: the paper's x-axes are 10^7-10^8 tuples on a physical
+20-machine cluster; the benches run the same workloads at 10^4 scale on
+the simulated cluster with JVM-calibrated memory (``paper_cluster``), so
+each simulated row stands for ~10^3 real ones.  Shapes, not absolute
+numbers, are the reproduction target (see EXPERIMENTS.md).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import paper_cluster  # noqa: F401  (re-exported)
+from repro.baselines import HiveCube, MRCube
+from repro.core import SPCube
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's three contenders, as factories over a cluster config.
+PAPER_ALGORITHMS = {
+    "Pig": lambda cluster: MRCube(cluster),
+    "Hive": lambda cluster: HiveCube(cluster),
+    "SP-Cube": lambda cluster: SPCube(cluster),
+}
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist a rendered figure; also echo it for -s runs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def final_times(sweep):
+    """{algorithm: total_seconds at the largest x}, skipping failed runs."""
+    curves = sweep.series("total_seconds")
+    failed = sweep.series("failed")
+    times = {}
+    for name, curve in curves.items():
+        if failed[name][-1][1] == 0:
+            times[name] = curve[-1][1]
+    return times
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

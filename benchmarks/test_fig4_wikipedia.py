@@ -1,0 +1,72 @@
+"""Figure 4 — the Wikipedia Traffic Statistics dataset.
+
+Paper panels (x = tuples, 50M-300M):
+  4a  total running time      — SP-Cube ~20% under Hive, ~3x under Pig
+  4b  average reduce time     — Pig worst; Hive close to SP-Cube
+  4c  map output size         — SP-Cube 5-6x below Pig and Hive
+
+Bench scale: 5k-40k rows of the statistics-matched generator on the
+simulated 20-machine cluster (see conftest / EXPERIMENTS.md).
+"""
+
+from repro.analysis import chart_figure, format_figure, run_sweep
+from repro.core import SPCube
+from repro.datagen import wikipedia_traffic
+
+from conftest import PAPER_ALGORITHMS, final_times, paper_cluster, write_result
+
+SIZES = [5_000, 10_000, 20_000, 40_000]
+
+
+def run_figure4():
+    workloads = [
+        (float(n), wikipedia_traffic(n, seed=400 + i))
+        for i, n in enumerate(SIZES)
+    ]
+    cluster = paper_cluster(SIZES[-1])
+    return run_sweep(
+        "Figure 4 — Wikipedia traffic statistics",
+        "tuples",
+        workloads,
+        PAPER_ALGORITHMS,
+        cluster,
+    )
+
+
+def test_figure4(benchmark):
+    sweep = run_figure4()
+
+    # Time SP-Cube itself at the largest point.
+    relation = wikipedia_traffic(SIZES[-1], seed=403)
+    cluster = paper_cluster(SIZES[-1])
+    benchmark.pedantic(
+        lambda: SPCube(cluster).compute(relation), rounds=1, iterations=1
+    )
+
+    text = format_figure(
+        sweep,
+        [
+            ("total_seconds", "4a  running time", "simulated sec"),
+            ("avg_reduce_seconds", "4b  average reduce time", "simulated sec"),
+            ("map_output_mb", "4c  map output size", "MB"),
+        ],
+    )
+    text += "\n\n" + chart_figure(
+        sweep, [("total_seconds", "4a  running time (shape)")]
+    )
+    write_result("figure4_wikipedia", text)
+
+    # --- shape assertions ---------------------------------------------------
+    times = final_times(sweep)
+    assert times["SP-Cube"] < times["Pig"]
+    assert times["SP-Cube"] < times["Hive"]
+
+    traffic = sweep.series("map_output_mb")
+    assert traffic["SP-Cube"][-1][1] < traffic["Pig"][-1][1]
+    assert traffic["SP-Cube"][-1][1] < traffic["Hive"][-1][1]
+    # Paper: 5-6x less traffic at the top size; require at least 2x here.
+    assert traffic["Pig"][-1][1] > 2 * traffic["SP-Cube"][-1][1]
+
+    # Every curve grows with data size.
+    spcube_times = [y for _x, y in sweep.series("total_seconds")["SP-Cube"]]
+    assert spcube_times == sorted(spcube_times)

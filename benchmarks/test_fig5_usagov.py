@@ -1,0 +1,86 @@
+"""Figure 5 — the USAGOV click-log dataset.
+
+Paper panels (x = tuples, 0.1M-30M, log scale):
+  5a  total running time — SP-Cube ~30% under Pig, ~3x under Hive
+  5b  average map time   — Hive far worst, Pig ~30% over SP-Cube
+  5c  SP-Sketch size     — tens of KB, ~6 orders below the input
+
+Bench scale: 1k-30k rows of the 15-dimension generator, cube over the
+4 dimensions the paper uses.
+"""
+
+from repro.analysis import chart_figure, format_figure, run_sweep
+from repro.core import SPCube
+from repro.datagen import (
+    USAGOV_CUBE_DIMENSIONS,
+    project_to_dimensions,
+    usagov_clicks,
+)
+from repro.mapreduce import relation_bytes
+
+from conftest import PAPER_ALGORITHMS, final_times, paper_cluster, write_result
+
+SIZES = [1_000, 3_000, 10_000, 30_000]
+
+
+def usagov_cube_input(n, seed):
+    return project_to_dimensions(
+        usagov_clicks(n, seed=seed), USAGOV_CUBE_DIMENSIONS
+    )
+
+
+def run_figure5():
+    workloads = [
+        (float(n), usagov_cube_input(n, seed=500 + i))
+        for i, n in enumerate(SIZES)
+    ]
+    cluster = paper_cluster(SIZES[-1])
+    return run_sweep(
+        "Figure 5 — USAGOV click logs (cube on 4 of 15 dimensions)",
+        "tuples",
+        workloads,
+        PAPER_ALGORITHMS,
+        cluster,
+    )
+
+
+def test_figure5(benchmark):
+    sweep = run_figure5()
+
+    relation = usagov_cube_input(SIZES[-1], seed=503)
+    cluster = paper_cluster(SIZES[-1])
+    run_holder = {}
+
+    def run_spcube():
+        run_holder["run"] = SPCube(cluster).compute(relation)
+
+    benchmark.pedantic(run_spcube, rounds=1, iterations=1)
+
+    text = format_figure(
+        sweep,
+        [
+            ("total_seconds", "5a  running time", "simulated sec"),
+            ("avg_map_seconds", "5b  average map time", "simulated sec"),
+            ("sketch_kb", "5c  SP-Sketch size", "KB"),
+        ],
+    )
+    text += "\n\n" + chart_figure(
+        sweep, [("total_seconds", "5a  running time (shape)")]
+    )
+    write_result("figure5_usagov", text)
+
+    # --- shape assertions ---------------------------------------------------
+    times = final_times(sweep)
+    assert times["SP-Cube"] < times["Pig"]
+    assert times["SP-Cube"] < times["Hive"]
+
+    # 5b: Hive's map time is the worst at the largest size.
+    map_times = sweep.series("avg_map_seconds")
+    assert map_times["Hive"][-1][1] > map_times["SP-Cube"][-1][1]
+
+    # 5c: sketch grows (mildly) with n, and stays tiny vs the input.
+    sketch = sweep.series("sketch_kb")["SP-Cube"]
+    assert sketch[-1][1] >= sketch[0][1]
+    _count, input_bytes = relation_bytes(relation.rows)
+    sketch_bytes = run_holder["run"].metrics.extras["sketch_bytes"]
+    assert sketch_bytes < input_bytes / 20

@@ -1,0 +1,89 @@
+"""Figure 6 — gen-binomial, fixed size, varying skewness p.
+
+Paper panels (x = p in [0, 0.75], n fixed at 300M):
+  6a  running time   — SP-Cube stable; Pig skew-sensitive; Hive stuck
+                       (reducer OOM) for p >= 0.4
+  6b  map output     — decreases with p for Pig and SP-Cube (fewer
+                       c-groups); Hive's stays the largest
+  6c  SP-Sketch size — always tiny (<~200KB in the paper)
+
+Bench scale: n = 30k; the Hive failure boundary (p >= 0.4) comes from the
+calibrated stuck model (see repro.baselines.hive and EXPERIMENTS.md).
+"""
+
+from repro.analysis import chart_figure, format_figure, run_sweep
+from repro.core import SPCube
+from repro.datagen import gen_binomial
+
+from conftest import PAPER_ALGORITHMS, paper_cluster, write_result
+
+N = 30_000
+SKEW_PERCENTS = [0, 10, 25, 40, 60, 75]
+
+
+def run_figure6():
+    workloads = [
+        (float(p), gen_binomial(N, p / 100, seed=600))
+        for p in SKEW_PERCENTS
+    ]
+    cluster = paper_cluster(N)
+    return run_sweep(
+        "Figure 6 — gen-binomial, varying skewness",
+        "p%",
+        workloads,
+        PAPER_ALGORITHMS,
+        cluster,
+    )
+
+
+def test_figure6(benchmark):
+    sweep = run_figure6()
+
+    relation = gen_binomial(N, 0.6, seed=600)
+    cluster = paper_cluster(N)
+    benchmark.pedantic(
+        lambda: SPCube(cluster).compute(relation), rounds=1, iterations=1
+    )
+
+    text = format_figure(
+        sweep,
+        [
+            ("total_seconds", "6a  running time", "simulated sec"),
+            ("map_output_mb", "6b  map output size", "MB"),
+            ("sketch_kb", "6c  SP-Sketch size", "KB"),
+        ],
+    )
+    text += "\n\n" + chart_figure(
+        sweep, [("total_seconds", "6a  running time (shape; Hive absent where stuck)")]
+    )
+    write_result("figure6_binomial_skew", text)
+
+    # --- shape assertions ---------------------------------------------------
+    failed = dict(
+        (x, y) for x, y in sweep.series("failed")["Hive"]
+    )
+    # Hive runs for p <= 0.25 and is stuck for p >= 0.4 — the paper's
+    # exact boundary.
+    assert failed[0.0] == 0 and failed[10.0] == 0 and failed[25.0] == 0
+    assert failed[40.0] == 1 and failed[60.0] == 1 and failed[75.0] == 1
+
+    # SP-Cube never fails and its time is stable across the sweep.
+    spcube_failed = [y for _x, y in sweep.series("failed")["SP-Cube"]]
+    assert all(flag == 0 for flag in spcube_failed)
+    spcube_times = [y for _x, y in sweep.series("total_seconds")["SP-Cube"]]
+    assert max(spcube_times) < 1.5 * min(spcube_times)
+
+    # SP-Cube beats Pig at every point.
+    pig = sweep.series("total_seconds")["Pig"]
+    spc = sweep.series("total_seconds")["SP-Cube"]
+    for (_x1, pig_t), (_x2, spc_t) in zip(pig, spc):
+        assert spc_t < pig_t
+
+    # 6b: Pig's and SP-Cube's traffic shrinks as p grows.
+    for algo in ("Pig", "SP-Cube"):
+        traffic = sweep.series("map_output_mb")[algo]
+        assert traffic[-1][1] < traffic[0][1]
+
+    # 6c: sketch stays small throughout (tens of KB at this scale).
+    sketch = [y for _x, y in sweep.series("sketch_kb")["SP-Cube"]]
+    assert max(sketch) < 100.0

@@ -1,0 +1,69 @@
+"""Figure 7 — gen-zipf, Zipfian attribute distribution, varying size.
+
+Paper panels (x = tuples, 1M-150M, log scale):
+  7a  running time        — SP-Cube 100% under Hive, 150% under Pig
+  7b  average reduce time — Hive best; SP-Cube and Pig similar
+  7c  map output size     — SP-Cube 4x under Pig, 6x under Hive
+
+Bench scale: 2k-40k rows of the paper's generation process (two
+Zipf(1000, 1.1) dimensions, two uniform(1000) dimensions).
+"""
+
+from repro.analysis import chart_figure, format_figure, run_sweep
+from repro.core import SPCube
+from repro.datagen import gen_zipf
+
+from conftest import PAPER_ALGORITHMS, final_times, paper_cluster, write_result
+
+SIZES = [2_000, 6_000, 15_000, 40_000]
+
+
+def run_figure7():
+    workloads = [
+        (float(n), gen_zipf(n, seed=700 + i)) for i, n in enumerate(SIZES)
+    ]
+    cluster = paper_cluster(SIZES[-1])
+    return run_sweep(
+        "Figure 7 — gen-zipf (Zipfian distribution)",
+        "tuples",
+        workloads,
+        PAPER_ALGORITHMS,
+        cluster,
+    )
+
+
+def test_figure7(benchmark):
+    sweep = run_figure7()
+
+    relation = gen_zipf(SIZES[-1], seed=703)
+    cluster = paper_cluster(SIZES[-1])
+    benchmark.pedantic(
+        lambda: SPCube(cluster).compute(relation), rounds=1, iterations=1
+    )
+
+    text = format_figure(
+        sweep,
+        [
+            ("total_seconds", "7a  running time", "simulated sec"),
+            ("avg_reduce_seconds", "7b  average reduce time", "simulated sec"),
+            ("map_output_mb", "7c  map output size", "MB"),
+        ],
+    )
+    text += "\n\n" + chart_figure(
+        sweep, [("total_seconds", "7a  running time (shape)")]
+    )
+    write_result("figure7_zipf", text)
+
+    # --- shape assertions ---------------------------------------------------
+    times = final_times(sweep)
+    assert times["SP-Cube"] < times["Pig"]
+    assert times["SP-Cube"] < times["Hive"]
+
+    # 7c: SP-Cube's map output is a multiple below both competitors.
+    traffic = sweep.series("map_output_mb")
+    assert traffic["Pig"][-1][1] > 1.5 * traffic["SP-Cube"][-1][1]
+    assert traffic["Hive"][-1][1] > 1.5 * traffic["SP-Cube"][-1][1]
+
+    # Nobody fails on the Zipfian data.
+    for algo in PAPER_ALGORITHMS:
+        assert all(y == 0 for _x, y in sweep.series("failed")[algo])

@@ -1,0 +1,72 @@
+"""Figure 8 (appendix) — gen-binomial, fixed p = 0.1, varying size.
+
+Paper panels (x = tuples, 1M-300M, log scale):
+  8a  running time     — SP-Cube ~2x under Hive, ~3x under Pig at the top
+  8b  average map time — follows the same ordering
+  8c  map output size  — SP-Cube lowest, Pig and Hive close together
+
+Bench scale: 2k-40k rows at the paper's fixed skewness p = 0.1.
+"""
+
+from repro.analysis import chart_figure, format_figure, run_sweep
+from repro.core import SPCube
+from repro.datagen import gen_binomial
+
+from conftest import PAPER_ALGORITHMS, final_times, paper_cluster, write_result
+
+SIZES = [2_000, 6_000, 15_000, 40_000]
+P = 0.1
+
+
+def run_figure8():
+    workloads = [
+        (float(n), gen_binomial(n, P, seed=800 + i))
+        for i, n in enumerate(SIZES)
+    ]
+    cluster = paper_cluster(SIZES[-1])
+    return run_sweep(
+        "Figure 8 — gen-binomial, varying data size (p = 0.1)",
+        "tuples",
+        workloads,
+        PAPER_ALGORITHMS,
+        cluster,
+    )
+
+
+def test_figure8(benchmark):
+    sweep = run_figure8()
+
+    relation = gen_binomial(SIZES[-1], P, seed=803)
+    cluster = paper_cluster(SIZES[-1])
+    benchmark.pedantic(
+        lambda: SPCube(cluster).compute(relation), rounds=1, iterations=1
+    )
+
+    text = format_figure(
+        sweep,
+        [
+            ("total_seconds", "8a  running time", "simulated sec"),
+            ("avg_map_seconds", "8b  average map time", "simulated sec"),
+            ("map_output_mb", "8c  map output size", "MB"),
+        ],
+    )
+    text += "\n\n" + chart_figure(
+        sweep, [("total_seconds", "8a  running time (shape)")]
+    )
+    write_result("figure8_binomial_size", text)
+
+    # --- shape assertions ---------------------------------------------------
+    times = final_times(sweep)
+    assert times["SP-Cube"] < times["Pig"]
+    assert times["SP-Cube"] < times["Hive"]
+
+    # All curves grow with n.
+    for algo in PAPER_ALGORITHMS:
+        curve = [y for _x, y in sweep.series("total_seconds")[algo]]
+        assert curve[-1] > curve[0]
+
+    # 8c: SP-Cube ships the least data at every size.
+    traffic = sweep.series("map_output_mb")
+    for index in range(len(SIZES)):
+        assert traffic["SP-Cube"][index][1] <= traffic["Pig"][index][1]
+        assert traffic["SP-Cube"][index][1] <= traffic["Hive"][index][1]

@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the library's hot components.
+
+These time individual building blocks (sketch construction, BUC, planning,
+projection, an engine round) so performance regressions are visible in
+isolation from the figure-level sweeps.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    build_exact_sketch,
+    build_sketch_from_sample,
+    plan_for_skew_bits,
+    plan_tuple,
+)
+from repro.core.planner import plan_for_skew_bits as _cached_plan
+from repro.cubing import buc_cube, sequential_cube
+from repro.datagen import gen_binomial, gen_zipf
+from repro.mapreduce import ClusterConfig, MapReduceJob, run_job
+from repro.relation import all_cuboids, project
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return gen_binomial(10_000, 0.3, seed=1000)
+
+
+def test_micro_sampled_sketch_build(benchmark, relation):
+    sample = relation.sample(0.05, random.Random(1))
+    benchmark(
+        build_sketch_from_sample, sample, 4, 20, 12.0
+    )
+
+
+def test_micro_exact_sketch_build(benchmark, relation):
+    benchmark.pedantic(
+        lambda: build_exact_sketch(relation, 20, 500),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_micro_buc_full_cube(benchmark):
+    relation = gen_zipf(3_000, seed=1001)
+    result = benchmark.pedantic(
+        lambda: buc_cube(relation), rounds=3, iterations=1
+    )
+    assert result == sequential_cube(relation)
+
+
+def test_micro_planner(benchmark, relation):
+    sketch = build_exact_sketch(relation, 20, 500)
+    rows = relation.rows[:2000]
+
+    def plan_all():
+        for row in rows:
+            plan_tuple(row, sketch)
+
+    benchmark(plan_all)
+
+
+def test_micro_plan_cache_hit(benchmark):
+    plan_for_skew_bits(1, 4)  # warm
+
+    def hit():
+        for _ in range(1000):
+            _cached_plan(1, 4)
+
+    benchmark(hit)
+
+
+def test_micro_projection(benchmark, relation):
+    rows = relation.rows[:2000]
+    masks = all_cuboids(4)
+
+    def project_all():
+        for row in rows:
+            for mask in masks:
+                project(row, mask, 4)
+
+    benchmark(project_all)
+
+
+def test_micro_engine_round(benchmark):
+    cluster = ClusterConfig(num_machines=8)
+    records = [f"w{i % 500}" for i in range(20_000)]
+    chunks = [records[i::8] for i in range(8)]
+
+    job = MapReduceJob.from_functions(
+        "wc",
+        lambda record: [(record, 1)],
+        lambda key, values: [(key, sum(values))],
+    )
+
+    def run():
+        return run_job(job, chunks, cluster, 2500)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.output) == 500

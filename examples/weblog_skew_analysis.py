@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Skew analysis of a web click log — the paper's motivating workload.
+
+Generates a USAGOV-style click log (15 dimensions), builds the 4-dimension
+cube the paper evaluates, and uses the library's skew tooling to answer:
+
+* which c-groups are skewed, and at which lattice levels;
+* how the SP-Sketch's sampled skew detection compares to ground truth;
+* how much map-side partial aggregation saves on this distribution.
+
+Usage::
+
+    python examples/weblog_skew_analysis.py [num_rows]
+"""
+
+import sys
+
+from repro import ClusterConfig, Count, SPCube
+from repro.analysis import paper_cluster
+from repro.datagen import (
+    USAGOV_CUBE_DIMENSIONS,
+    project_to_dimensions,
+    usagov_clicks,
+)
+from repro.relation import format_group, mask_size
+from repro.theory import planned_traffic, skewed_groups_by_cuboid
+
+
+def main():
+    num_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    print(f"generating {num_rows} USAGOV-style click records "
+          f"(15 dimensions)...")
+    log = usagov_clicks(num_rows, seed=11)
+    relation = project_to_dimensions(log, USAGOV_CUBE_DIMENSIONS)
+    schema = relation.schema
+    cluster = paper_cluster(num_rows)
+    m = cluster.derive_memory(num_rows)
+
+    # -- ground truth skews --------------------------------------------------
+    truth = skewed_groups_by_cuboid(relation, m)
+    print(f"\ntrue skewed c-groups (|set(g)| > m = {m}):")
+    by_level = {}
+    for mask, groups in truth.items():
+        if groups:
+            by_level.setdefault(mask_size(mask), []).extend(
+                (mask, values) for values in groups
+            )
+    total_skewed = sum(len(groups) for groups in by_level.values())
+    for level in sorted(by_level):
+        sample = ", ".join(
+            format_group(mask, values, schema)
+            for mask, values in by_level[level][:3]
+        )
+        print(f"  level {level}: {len(by_level[level]):4d} groups   "
+              f"e.g. {sample}")
+    print(f"  total: {total_skewed}")
+
+    # -- sampled sketch vs truth ----------------------------------------------
+    run = SPCube(cluster, Count()).compute(relation)
+    sketch = run.sketch
+    detected = {
+        (mask, values) for mask, values, _count in sketch.skewed_groups()
+    }
+    true_set = {
+        (mask, values)
+        for mask, groups in truth.items()
+        for values in groups
+    }
+    caught = len(detected & true_set)
+    print(f"\nSP-Sketch detection: {caught}/{len(true_set)} true skews "
+          f"caught, {len(detected - true_set)} extra (borderline) flagged")
+    print(f"sketch size: {sketch.serialized_bytes()} bytes for "
+          f"{num_rows} input rows")
+
+    # -- what the skew handling saves ------------------------------------------
+    plan = planned_traffic(relation, sketch)
+    naive_pairs = num_rows * (1 << schema.num_dimensions)
+    print(f"\nnetwork plan: {plan.emitted_tuples} tuple emissions "
+          f"({plan.emissions_per_tuple:.2f}/tuple) + "
+          f"{plan.skew_absorptions} skew absorptions handled map-side")
+    print(f"naive algorithm would ship {naive_pairs} pairs "
+          f"({naive_pairs / max(plan.emitted_tuples, 1):.1f}x more)")
+
+    print(f"\ncube computed: {run.cube.num_groups} c-groups, "
+          f"simulated {run.metrics.total_seconds:.1f} s on "
+          f"{cluster.num_machines} machines")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""SP-Cube: skew-resilient MapReduce data-cube computation.
+
+Reproduction of Milo & Altshuler, *"An Efficient MapReduce Cube Algorithm
+for Varied Data Distributions"*, SIGMOD 2016.
+
+Quick start::
+
+    from repro import SPCube, ClusterConfig, gen_zipf
+
+    relation = gen_zipf(100_000)
+    run = SPCube(ClusterConfig(num_machines=20)).compute(relation)
+    print(run.cube.num_groups, run.metrics.total_seconds)
+
+Package layout
+--------------
+``repro.relation``    schemas, relations, cube/tuple lattices
+``repro.aggregates``  distributive/algebraic/holistic aggregate functions
+``repro.mapreduce``   the simulated cluster substrate
+``repro.cubing``      sequential algorithms (oracle, BUC, top-down)
+``repro.core``        the SP-Sketch, the planner, and SP-Cube itself
+``repro.baselines``   Naive-MR, Pig's MR-Cube, Hive, PipeSort-MR
+``repro.datagen``     the paper's workload generators
+``repro.theory``      skewness monotonicity and traffic-bound predicates
+``repro.analysis``    sweep harness and paper-style reporting
+"""
+
+from .aggregates import (
+    Average,
+    Multi,
+    Count,
+    CountDistinct,
+    Max,
+    Median,
+    Min,
+    Sum,
+    TopKFrequent,
+    Variance,
+    get_aggregate,
+)
+from .analysis import format_figure, format_panel, run_sweep
+from .baselines import HiveCube, MRCube, NaiveCube, PipeSortMR
+from .core import SPCube, SPSketch, build_exact_sketch
+from .cubing import CubeResult, buc_cube, sequential_cube, topdown_cube
+from .datagen import (
+    adversarial_relation,
+    gen_binomial,
+    gen_zipf,
+    usagov_clicks,
+    wikipedia_traffic,
+)
+from .interface import CubeAlgorithm, CubeRun
+from .query import CubeView, QueryError
+from .mapreduce import ClusterConfig, CostModel
+from .relation import Relation, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Average",
+    "Count",
+    "CountDistinct",
+    "Max",
+    "Median",
+    "Min",
+    "Multi",
+    "Sum",
+    "TopKFrequent",
+    "Variance",
+    "get_aggregate",
+    "format_figure",
+    "format_panel",
+    "run_sweep",
+    "HiveCube",
+    "MRCube",
+    "NaiveCube",
+    "PipeSortMR",
+    "SPCube",
+    "SPSketch",
+    "build_exact_sketch",
+    "CubeResult",
+    "buc_cube",
+    "sequential_cube",
+    "topdown_cube",
+    "adversarial_relation",
+    "gen_binomial",
+    "gen_zipf",
+    "usagov_clicks",
+    "wikipedia_traffic",
+    "CubeAlgorithm",
+    "CubeRun",
+    "CubeView",
+    "QueryError",
+    "ClusterConfig",
+    "CostModel",
+    "Relation",
+    "Schema",
+    "__version__",
+]

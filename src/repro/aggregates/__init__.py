@@ -1,0 +1,42 @@
+"""Aggregate functions (distributive / algebraic / holistic) and policy."""
+
+from .functions import (
+    AggregateFunction,
+    AggregateKind,
+    Average,
+    Count,
+    CountDistinct,
+    Max,
+    Median,
+    Min,
+    Multi,
+    Sum,
+    TopKFrequent,
+    UnsupportedAggregateError,
+    Variance,
+    get_aggregate,
+    register,
+    registered_aggregates,
+)
+from .classify import check_spcube_support, supports_partial_aggregation
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateKind",
+    "Average",
+    "Count",
+    "CountDistinct",
+    "Max",
+    "Median",
+    "Min",
+    "Multi",
+    "Sum",
+    "TopKFrequent",
+    "UnsupportedAggregateError",
+    "Variance",
+    "get_aggregate",
+    "register",
+    "registered_aggregates",
+    "check_spcube_support",
+    "supports_partial_aggregation",
+]

@@ -1,0 +1,44 @@
+"""Support checks mapping aggregate classes to algorithm capabilities.
+
+Paper Section 7: *"SP-Cube supports all distributive and algebraic aggregate
+functions, and all partially algebraic functions in which the generated
+partitions are not skewed"*; arbitrary holistic functions are future work.
+
+These helpers centralize that policy so every algorithm applies it the same
+way, and so tests can assert the refusal behaviour.
+"""
+
+from __future__ import annotations
+
+from .functions import AggregateFunction, AggregateKind, UnsupportedAggregateError
+
+
+def supports_partial_aggregation(fn: AggregateFunction) -> bool:
+    """True when map-side partial aggregation genuinely compresses ``fn``.
+
+    Distributive and algebraic functions keep constant-size states, so
+    pre-aggregating a skewed c-group on the mappers shrinks it to one state
+    per mapper.  Holistic states grow with the data and gain nothing.
+    """
+    return fn.kind is not AggregateKind.HOLISTIC and fn.compact_state
+
+
+def check_spcube_support(
+    fn: AggregateFunction, allow_holistic: bool = False
+) -> None:
+    """Raise unless SP-Cube can run ``fn`` efficiently.
+
+    ``allow_holistic=True`` opts into correctness-preserving but
+    non-compressing holistic execution (states are full multisets); this is
+    useful for testing and small data, and mirrors the paper's note that the
+    algorithm stays *correct* — only the skew-compression guarantee is lost.
+    """
+    if supports_partial_aggregation(fn):
+        return
+    if allow_holistic:
+        return
+    raise UnsupportedAggregateError(
+        f"aggregate {fn.name!r} is {fn.kind.value}; SP-Cube's map-side "
+        "partial aggregation of skewed groups needs a compact mergeable "
+        "state (pass allow_holistic=True to run it anyway)"
+    )

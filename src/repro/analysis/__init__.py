@@ -1,0 +1,38 @@
+"""Experiment harness: sweeps, metrics, and paper-style reports."""
+
+from .charts import ascii_chart, chart_figure
+from .report import (
+    available_metrics,
+    format_figure,
+    format_panel,
+    speedup_summary,
+)
+from .runner import (
+    paper_cluster,
+    METRICS,
+    AlgorithmFactory,
+    PointResult,
+    SweepResult,
+    VerificationError,
+    run_algorithms,
+    run_sweep,
+    subsample_sweep,
+)
+
+__all__ = [
+    "ascii_chart",
+    "chart_figure",
+    "available_metrics",
+    "format_figure",
+    "format_panel",
+    "speedup_summary",
+    "METRICS",
+    "AlgorithmFactory",
+    "PointResult",
+    "SweepResult",
+    "VerificationError",
+    "run_algorithms",
+    "paper_cluster",
+    "run_sweep",
+    "subsample_sweep",
+]

@@ -1,0 +1,104 @@
+"""Paper-style rendering of sweep results.
+
+Each figure panel in the paper is a set of curves over a shared x-axis;
+:func:`format_panel` prints the same content as an aligned text table
+(x column + one column per algorithm), and :func:`format_figure` stacks
+the three panels of a figure.  Failed runs (OOM-flagged, like Hive at
+``p >= 0.4``) render as ``FAIL`` — the paper shows these as missing data
+points ("it got stuck").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .runner import METRICS, SweepResult
+
+
+def format_panel(
+    sweep: SweepResult,
+    metric: str,
+    title: str,
+    unit: str = "",
+    precision: int = 2,
+) -> str:
+    """One figure panel as an aligned text table."""
+    curves = sweep.series(metric)
+    failures = sweep.series("failed")
+    x_values = [point.x for point in sweep.points]
+
+    header_cells = [sweep.x_label] + list(curves)
+    rows: List[List[str]] = []
+    for index, x in enumerate(x_values):
+        cells = [_format_x(x)]
+        for name in curves:
+            failed = failures[name][index][1] > 0 and metric in (
+                "total_seconds",
+                "avg_map_seconds",
+                "avg_reduce_seconds",
+            )
+            if failed:
+                cells.append("FAIL(OOM)")
+            else:
+                cells.append(f"{curves[name][index][1]:.{precision}f}")
+        rows.append(cells)
+
+    widths = [
+        max(len(header_cells[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header_cells))
+    ]
+    lines = [f"{title}" + (f"  [{unit}]" if unit else "")]
+    lines.append(
+        "  ".join(cell.rjust(width) for cell, width in zip(header_cells, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_figure(
+    sweep: SweepResult,
+    panels: Sequence[Tuple[str, str, str]],
+    heading: Optional[str] = None,
+) -> str:
+    """Stack several panels: each entry is ``(metric, title, unit)``."""
+    blocks = [heading or sweep.name]
+    blocks.append("=" * len(blocks[0]))
+    for metric, title, unit in panels:
+        blocks.append("")
+        blocks.append(format_panel(sweep, metric, title, unit))
+    return "\n".join(blocks)
+
+
+def speedup_summary(
+    sweep: SweepResult, baseline_names: Sequence[str], subject: str
+) -> Dict[str, float]:
+    """Relative speedups of ``subject`` vs each baseline at the largest x.
+
+    The paper quotes these (e.g. "20% faster than Hive, 300% faster than
+    Pig"); the convention here matches: a value of 3.0 means the baseline
+    took 3x the subject's time.
+    """
+    curves = sweep.series("total_seconds")
+    summary: Dict[str, float] = {}
+    subject_time = curves[subject][-1][1]
+    for name in baseline_names:
+        baseline_time = curves[name][-1][1]
+        summary[name] = (
+            baseline_time / subject_time if subject_time else float("inf")
+        )
+    return summary
+
+
+def available_metrics() -> List[str]:
+    """Names accepted by :func:`format_panel` / ``SweepResult.series``."""
+    return sorted(METRICS)
+
+
+def _format_x(x: float) -> str:
+    if x == int(x):
+        return str(int(x))
+    return f"{x:g}"

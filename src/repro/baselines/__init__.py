@@ -1,0 +1,8 @@
+"""Competitor cube algorithms: naive, Pig's MR-Cube, Hive, PipeSort-MR."""
+
+from .hive import HiveCube
+from .mrcube import MRCube
+from .naive_mr import NaiveCube
+from .pipesort_mr import PipeSortMR
+
+__all__ = ["HiveCube", "MRCube", "NaiveCube", "PipeSortMR"]

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``  write one of the paper's workloads as a delimited text file
+``cube``      compute a cube from a text relation with a chosen engine
+``compare``   run several engines on a workload and print the comparison
+``sketch``    build and describe the SP-Sketch of a text relation
+
+Examples::
+
+    python -m repro generate binomial --rows 20000 --skew 0.4 -o data.tsv
+    python -m repro cube data.tsv --engine spcube --aggregate sum -o cube.tsv
+    python -m repro compare zipf --rows 10000
+    python -m repro sketch data.tsv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from . import io as repro_io
+from .aggregates import get_aggregate
+from .analysis import paper_cluster, run_algorithms
+from .baselines import HiveCube, MRCube, NaiveCube, PipeSortMR
+from .core import SPCube, build_exact_sketch
+from .datagen import (
+    USAGOV_CUBE_DIMENSIONS,
+    gen_binomial,
+    gen_zipf,
+    project_to_dimensions,
+    usagov_clicks,
+    wikipedia_traffic,
+)
+from .relation import format_cuboid, format_group
+
+ENGINES = {
+    "spcube": SPCube,
+    "naive": NaiveCube,
+    "mrcube": MRCube,
+    "hive": HiveCube,
+    "pipesort": PipeSortMR,
+}
+
+
+def _generate_dataset(name: str, rows: int, skew: float, seed: int):
+    if name == "binomial":
+        return gen_binomial(rows, skew, seed=seed)
+    if name == "zipf":
+        return gen_zipf(rows, seed=seed)
+    if name == "wikipedia":
+        return wikipedia_traffic(rows, seed=seed)
+    if name == "usagov":
+        return project_to_dimensions(
+            usagov_clicks(rows, seed=seed), USAGOV_CUBE_DIMENSIONS
+        )
+    raise SystemExit(f"unknown dataset {name!r}")
+
+
+def cmd_generate(args) -> int:
+    relation = _generate_dataset(args.dataset, args.rows, args.skew, args.seed)
+    count = repro_io.write_relation(relation, args.output)
+    print(f"wrote {count} rows of {relation.name} to {args.output}")
+    return 0
+
+
+def cmd_cube(args) -> int:
+    relation = repro_io.read_relation(args.input)
+    cluster = paper_cluster(len(relation), num_machines=args.machines)
+    engine_cls = ENGINES[args.engine]
+    engine = engine_cls(cluster, get_aggregate(args.aggregate))
+    run = engine.compute(relation)
+
+    if args.output:
+        lines = repro_io.write_cube(run.cube, args.output)
+        print(f"wrote {lines} c-groups to {args.output}")
+    metrics = run.metrics
+    print(f"engine:          {metrics.algorithm}")
+    print(f"c-groups:        {run.cube.num_groups}")
+    print(f"simulated time:  {metrics.total_seconds:.1f} s")
+    print(f"map output:      {metrics.intermediate_bytes / 1e6:.2f} MB")
+    if metrics.failed:
+        print("status:          FAILED (reducers out of memory)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    relation = _generate_dataset(args.dataset, args.rows, args.skew, args.seed)
+    cluster = paper_cluster(len(relation), num_machines=args.machines)
+    engines = {
+        name: ENGINES[name](cluster, get_aggregate(args.aggregate))
+        for name in args.engines
+    }
+    runs = run_algorithms(relation, engines, verify=args.verify)
+
+    header = f"{'engine':12s}{'time(s)':>10s}{'traffic(MB)':>13s}{'status':>10s}"
+    print(f"dataset: {relation.name}\n")
+    print(header)
+    print("-" * len(header))
+    for name, run in runs.items():
+        metrics = run.metrics
+        status = "OOM" if metrics.failed else "ok"
+        print(
+            f"{name:12s}{metrics.total_seconds:10.1f}"
+            f"{metrics.intermediate_bytes / 1e6:13.2f}{status:>10s}"
+        )
+    if args.verify:
+        print("\nall engines produced identical cubes")
+    return 0
+
+
+def cmd_sketch(args) -> int:
+    relation = repro_io.read_relation(args.input)
+    cluster = paper_cluster(len(relation), num_machines=args.machines)
+    m = cluster.derive_memory(len(relation))
+    if args.exact:
+        sketch = build_exact_sketch(relation, cluster.num_machines, m)
+    else:
+        run = SPCube(cluster).compute(relation)
+        sketch = run.sketch
+
+    schema = relation.schema
+    print(f"SP-Sketch of {relation.name} "
+          f"({'exact' if args.exact else 'sampled'}):")
+    print(f"  serialized size: {sketch.serialized_bytes()} bytes")
+    print(f"  skewed c-groups: {sketch.num_skewed}")
+    shown = 0
+    for mask, values, count in sketch.skewed_groups():
+        if shown >= args.limit:
+            print(f"  ... ({sketch.num_skewed - shown} more)")
+            break
+        print(f"  {format_group(mask, values, schema):40s} "
+              f"in {format_cuboid(mask, schema)}  (sample count {count})")
+        shown += 1
+    if args.output:
+        size = repro_io.write_sketch(sketch, args.output)
+        print(f"  written to {args.output} ({size} bytes)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SP-Cube: skew-resilient MapReduce cube computation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a workload to a file")
+    gen.add_argument(
+        "dataset", choices=["binomial", "zipf", "wikipedia", "usagov"]
+    )
+    gen.add_argument("--rows", type=int, default=10_000)
+    gen.add_argument("--skew", type=float, default=0.3,
+                     help="binomial skew probability p")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True)
+    gen.set_defaults(fn=cmd_generate)
+
+    cube = sub.add_parser("cube", help="compute a cube from a file")
+    cube.add_argument("input")
+    cube.add_argument("--engine", choices=sorted(ENGINES), default="spcube")
+    cube.add_argument("--aggregate", default="count")
+    cube.add_argument("--machines", type=int, default=20)
+    cube.add_argument("-o", "--output")
+    cube.set_defaults(fn=cmd_cube)
+
+    compare = sub.add_parser("compare", help="run engines side by side")
+    compare.add_argument(
+        "dataset", choices=["binomial", "zipf", "wikipedia", "usagov"]
+    )
+    compare.add_argument("--rows", type=int, default=10_000)
+    compare.add_argument("--skew", type=float, default=0.3)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--machines", type=int, default=20)
+    compare.add_argument("--aggregate", default="count")
+    compare.add_argument(
+        "--engines",
+        nargs="+",
+        choices=sorted(ENGINES),
+        default=["spcube", "mrcube", "hive"],
+    )
+    compare.add_argument("--verify", action="store_true",
+                         help="cross-check that all cubes agree")
+    compare.set_defaults(fn=cmd_compare)
+
+    sketch = sub.add_parser("sketch", help="build and describe an SP-Sketch")
+    sketch.add_argument("input")
+    sketch.add_argument("--machines", type=int, default=20)
+    sketch.add_argument("--exact", action="store_true",
+                        help="build the exact (utopian) sketch")
+    sketch.add_argument("--limit", type=int, default=10,
+                        help="skewed groups to list")
+    sketch.add_argument("-o", "--output", help="write the sketch as JSON")
+    sketch.set_defaults(fn=cmd_sketch)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

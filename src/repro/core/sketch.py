@@ -1,0 +1,217 @@
+"""The Skews-and-Partitions Sketch (paper Section 4).
+
+For every cuboid of the cube lattice the SP-Sketch records two items:
+
+* ``skews(C)`` — the skewed c-groups of ``C`` (Definition 2.7:
+  ``|set(g)| > m``), stored as a hash table keyed by the group's dimension
+  values (Section 5: *"maintaining a hash table in which items correspond
+  to the skewed c-groups"*);
+* ``partition_elements(C)`` — the ``k - 1`` lexicographic boundaries that
+  split the cuboid's tuples into ``k`` balanced ranges (Definition 4.1).
+
+Two builders are provided, mirroring the paper's exposition:
+
+* :func:`build_exact_sketch` — the *utopian* sketch, computed from fully
+  sorted data.  Too expensive in production (it sorts ``R`` per cuboid) but
+  exact; used as ground truth in tests and available for ablations.
+* :func:`build_sketch_from_sample` — the approximated sketch of
+  Algorithm 2: skews are the c-groups whose **sample** count exceeds
+  ``beta = ln(nk)`` (an iceberg cube over the sample, computed with BUC),
+  and partition elements are sample quantiles.
+
+The sketch is independent of the aggregate function: once built it can
+serve any number of cube computations (Section 4 preamble).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..cubing.buc import iceberg_groups
+from ..mapreduce.sizes import estimate_bytes
+from ..relation.lattice import GroupValues, all_cuboids, project, projector
+from ..relation.relation import Relation
+from .partition import (
+    find_partition,
+    partition_elements_for_cuboid,
+)
+
+
+class SketchError(RuntimeError):
+    """Raised when a sketch violates a structural invariant."""
+
+
+@dataclass
+class CuboidSketch:
+    """Per-cuboid record: skewed groups (with counts) and partition bounds."""
+
+    skewed: Dict[GroupValues, int] = field(default_factory=dict)
+    partition_elements: List[GroupValues] = field(default_factory=list)
+
+
+class SPSketch:
+    """The assembled sketch: one :class:`CuboidSketch` per lattice node."""
+
+    def __init__(
+        self,
+        num_dimensions: int,
+        num_partitions: int,
+        cuboids: Dict[int, CuboidSketch],
+    ):
+        self.num_dimensions = num_dimensions
+        self.num_partitions = num_partitions
+        self.cuboids = cuboids
+        for mask in all_cuboids(num_dimensions):
+            self.cuboids.setdefault(mask, CuboidSketch())
+        self._probes = None  # lazily-built skew_bits probe list
+
+    # -- queries used by Algorithm 3 -----------------------------------------
+
+    def is_skewed(self, mask: int, values: GroupValues) -> bool:
+        """Hash-table membership test of Section 5."""
+        return values in self.cuboids[mask].skewed
+
+    def partition_of(self, mask: int, values: GroupValues) -> int:
+        """Partition (reducer range) of a non-skewed c-group."""
+        return find_partition(self.cuboids[mask].partition_elements, values)
+
+    def skew_bits(self, row: Sequence) -> int:
+        """Bitmap over all ``2^d`` cuboids: bit ``mask`` set iff the row's
+        projection onto ``mask`` is a skewed c-group.
+
+        This is the planner's cache key — two rows with equal skew bitmaps
+        have structurally identical marking plans.  The probe list (cuboids
+        that have any skewed group at all, with compiled projectors) is
+        built on first use; the sketch is immutable once built.
+        """
+        probes = self._probes
+        if probes is None:
+            d = self.num_dimensions
+            probes = self._probes = [
+                (1 << mask, projector(mask, d), cuboid.skewed)
+                for mask, cuboid in self.cuboids.items()
+                if cuboid.skewed
+            ]
+        bits = 0
+        for bit, get, skewed in probes:
+            if get(row) in skewed:
+                bits |= bit
+        return bits
+
+    # -- inspection ------------------------------------------------------------
+
+    def skewed_groups(self) -> Iterator[Tuple[int, GroupValues, int]]:
+        """All recorded skewed groups as ``(mask, values, count)``."""
+        for mask in sorted(self.cuboids):
+            for values, count in sorted(
+                self.cuboids[mask].skewed.items(), key=lambda item: item[0]
+            ):
+                yield mask, values, count
+
+    @property
+    def num_skewed(self) -> int:
+        return sum(len(c.skewed) for c in self.cuboids.values())
+
+    def to_payload(self) -> Tuple:
+        """A flat serializable view — what would cross the DFS to machines."""
+        return tuple(
+            (
+                mask,
+                tuple(sorted(cuboid.skewed.items())),
+                tuple(cuboid.partition_elements),
+            )
+            for mask, cuboid in sorted(self.cuboids.items())
+        )
+
+    def serialized_bytes(self) -> int:
+        """Estimated serialized size (Figures 5c / 6c measure this)."""
+        return estimate_bytes(self.to_payload())
+
+    def validate_monotonic(self) -> None:
+        """Check downward monotonicity of recorded skews.
+
+        If a group ``g`` is skewed, every sub-group (projection onto fewer
+        attributes) has a superset tuple set and must be skewed too.  Both
+        builders guarantee this by construction (a sample count can only
+        grow when attributes are dropped); a violation means corruption.
+        """
+        d = self.num_dimensions
+        for mask, cuboid in self.cuboids.items():
+            for values in cuboid.skewed:
+                for dim_pos, dim in enumerate(_mask_dims(mask, d)):
+                    child_mask = mask & ~(1 << dim)
+                    child_values = values[:dim_pos] + values[dim_pos + 1 :]
+                    if not self.is_skewed(child_mask, child_values):
+                        raise SketchError(
+                            f"skew monotonicity violated: {mask:b}/{values} "
+                            f"skewed but {child_mask:b}/{child_values} is not"
+                        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SPSketch(d={self.num_dimensions}, k={self.num_partitions}, "
+            f"{self.num_skewed} skewed groups, "
+            f"~{self.serialized_bytes()} bytes)"
+        )
+
+
+def build_exact_sketch(
+    relation: Relation,
+    num_partitions: int,
+    memory_records: int,
+) -> SPSketch:
+    """The utopian SP-Sketch: exact skews and exact partition elements.
+
+    Sorts the relation once per cuboid — ``O(2^d n log n)`` work, which is
+    why the paper replaces it with the sampled variant; exact output makes
+    it the test oracle for :func:`build_sketch_from_sample`.
+    """
+    d = relation.schema.num_dimensions
+    cuboids: Dict[int, CuboidSketch] = {}
+    for mask in all_cuboids(d):
+        skewed = {
+            values: count
+            for values, count in relation.group_sizes(mask).items()
+            if count > memory_records
+        }
+        elements = partition_elements_for_cuboid(
+            relation.rows, mask, d, num_partitions
+        )
+        cuboids[mask] = CuboidSketch(skewed, elements)
+    return SPSketch(d, num_partitions, cuboids)
+
+
+def build_sketch_from_sample(
+    sample_rows: Sequence[Tuple],
+    num_dimensions: int,
+    num_partitions: int,
+    beta: float,
+) -> SPSketch:
+    """Algorithm 2's ``build-sketch``: the sketch from a Bernoulli sample.
+
+    Skew detection is an iceberg cube over the sample with threshold
+    ``count > beta`` (the paper runs BUC with ``count`` aggregation and
+    keeps groups above ``beta``); partition elements are the sample's
+    ``k - 1`` per-cuboid quantile projections.
+    """
+    rows = list(sample_rows)
+    min_support = max(1, math.floor(beta) + 1)
+    heavy = iceberg_groups(rows, num_dimensions, min_support)
+
+    cuboids: Dict[int, CuboidSketch] = {
+        mask: CuboidSketch() for mask in all_cuboids(num_dimensions)
+    }
+    for (mask, values), count in heavy.items():
+        if count > beta:
+            cuboids[mask].skewed[values] = count
+    for mask in all_cuboids(num_dimensions):
+        cuboids[mask].partition_elements = partition_elements_for_cuboid(
+            rows, mask, num_dimensions, num_partitions
+        )
+    return SPSketch(num_dimensions, num_partitions, cuboids)
+
+
+def _mask_dims(mask: int, d: int) -> List[int]:
+    return [i for i in range(d) if mask >> i & 1]

@@ -1,0 +1,382 @@
+"""SP-Cube — the paper's algorithm (Section 5), in two MapReduce rounds.
+
+**Round 1** (Algorithm 2): every mapper Bernoulli-samples its input chunk
+with probability ``alpha = ln(nk)/m``; the single reducer builds the
+SP-Sketch from the sample and publishes it on the DFS, from where every
+machine of round 2 caches it in memory.
+
+**Round 2** (Algorithm 3): mappers traverse each tuple's lattice bottom-up
+(BFS); skewed c-groups are partially aggregated in mapper memory and
+flushed to reducer 0 at close; for each first-unmarked non-skewed c-group
+the full tuple is emitted to the reducer owning that group's lexicographic
+range partition, and the group's ancestors are marked (the reducer derives
+them locally).  Reducer 0 merges the skew partial aggregates; reducers
+``1..k`` aggregate each received base group and all the lattice nodes it
+covers.
+
+Ablation switches (all default to the paper's configuration):
+
+* ``map_partial_aggregation=False`` — skewed groups are no longer
+  pre-aggregated; they flow through the normal emission path (design
+  choice 4 in DESIGN.md).
+* ``ancestor_covering=False`` — every non-skewed node is emitted
+  individually instead of being derived from a covering descendant
+  (design choice 3).
+* ``range_partitioning=False`` — base groups are hash-routed instead of
+  range-routed (design choice 5).
+* ``use_exact_sketch=True`` — round 1 is replaced by the utopian sketch
+  (exact skews/partitions); useful for tests and for isolating sampling
+  error.
+
+Extension beyond the paper: ``min_group_size`` computes an *iceberg* cube
+— only c-groups with at least that many contributing tuples are output.
+Mappers carry exact counts next to the partial states, so filtering is
+exact on both the skewed path (reducer 0) and the covered path, matching
+``buc_cube(min_support=...)`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..aggregates.classify import check_spcube_support
+from ..aggregates.functions import AggregateFunction, Count
+from ..cubing.result import CubeResult
+from ..interface import CubeRun
+from ..mapreduce.cluster import ClusterConfig
+from ..mapreduce.dfs import DistributedFileSystem
+from ..mapreduce.engine import (
+    Mapper,
+    MapReduceJob,
+    Reducer,
+    run_job,
+    stable_hash,
+)
+from ..mapreduce.metrics import RunMetrics
+from ..relation.lattice import project
+from ..relation.relation import Relation
+from .planner import TuplePlan, plan_for_skew_bits, plan_without_covering
+from .sampling import sampling_probability, skew_sample_threshold
+from .sketch import SPSketch, build_exact_sketch, build_sketch_from_sample
+
+#: Key tags distinguishing the two reduce-side streams of Algorithm 3.
+_SKEW_TAG = "S"
+_GROUP_TAG = "G"
+
+#: DFS path under which round 1 publishes the sketch.
+SKETCH_PATH = "spcube/sketch"
+
+
+class SPCube:
+    """The SP-Cube engine.  See module docstring for the knobs."""
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterConfig] = None,
+        aggregate: Optional[AggregateFunction] = None,
+        *,
+        allow_holistic: bool = False,
+        use_exact_sketch: bool = False,
+        alpha: Optional[float] = None,
+        beta: Optional[float] = None,
+        map_partial_aggregation: bool = True,
+        ancestor_covering: bool = True,
+        range_partitioning: bool = True,
+        min_group_size: int = 1,
+        dfs: Optional[DistributedFileSystem] = None,
+    ):
+        self.cluster = cluster or ClusterConfig()
+        self.aggregate = aggregate or Count()
+        check_spcube_support(self.aggregate, allow_holistic)
+        self.use_exact_sketch = use_exact_sketch
+        self.alpha = alpha
+        self.beta = beta
+        self.map_partial_aggregation = map_partial_aggregation
+        self.ancestor_covering = ancestor_covering
+        self.range_partitioning = range_partitioning
+        if min_group_size < 1:
+            raise ValueError("min_group_size must be >= 1")
+        self.min_group_size = min_group_size
+        # Explicit None check: an empty DFS is falsy (it has __len__).
+        self.dfs = dfs if dfs is not None else DistributedFileSystem()
+
+    @property
+    def name(self) -> str:
+        return "SP-Cube"
+
+    # -- public API -------------------------------------------------------------
+
+    def compute(self, relation: Relation) -> CubeRun:
+        """Compute the full cube of ``relation`` (both rounds)."""
+        n = len(relation)
+        k = self.cluster.num_machines
+        m = self.cluster.derive_memory(n)
+        metrics = RunMetrics(algorithm=self.name)
+
+        sketch = self._round_one(relation, n, k, m, metrics)
+        self.dfs.write(SKETCH_PATH, [sketch.to_payload()])
+        metrics.extras["sketch_bytes"] = sketch.serialized_bytes()
+        metrics.extras["num_skewed_groups"] = sketch.num_skewed
+
+        cube = self._round_two(relation, sketch, k, m, metrics)
+        metrics.output_groups = cube.num_groups
+        return CubeRun(cube=cube, metrics=metrics, sketch=sketch)
+
+    # -- round 1: sketch ---------------------------------------------------------
+
+    def _round_one(
+        self,
+        relation: Relation,
+        n: int,
+        k: int,
+        m: int,
+        metrics: RunMetrics,
+    ) -> SPSketch:
+        d = relation.schema.num_dimensions
+        if self.use_exact_sketch:
+            metrics.extras["sketch_mode"] = "exact"
+            return build_exact_sketch(relation, k, m)
+
+        alpha = (
+            self.alpha
+            if self.alpha is not None
+            else sampling_probability(n, k, m)
+        )
+        beta = (
+            self.beta
+            if self.beta is not None
+            else skew_sample_threshold(n, k)
+        )
+        seed = self.cluster.seed
+        holder: List[SPSketch] = []
+
+        def reducer_factory() -> Reducer:
+            reducer = _SketchReducer(d, k, beta, holder)
+            return reducer
+
+        job = MapReduceJob(
+            name="sp-sketch",
+            mapper_factory=lambda: _SampleMapper(alpha, seed),
+            reducer_factory=reducer_factory,
+            num_reducers=1,
+            # The sample is O(m) w.h.p. (Prop 4.4) and is collected under a
+            # single key by design; the value-buffer flag does not apply.
+            value_buffer_fraction=None,
+        )
+        result = run_job(job, relation.split(k), self.cluster, m)
+        metrics.jobs.append(result.metrics)
+
+        if holder:
+            sketch = holder[0]
+        else:
+            # Empty sample (tiny input): a blank sketch is still valid —
+            # nothing is skewed, everything routes to partition 0.
+            sketch = build_sketch_from_sample([], d, k, beta)
+        metrics.extras["alpha"] = alpha
+        metrics.extras["beta"] = beta
+        metrics.extras["sample_size"] = metrics.jobs[-1].map_output_records
+        return sketch
+
+    # -- round 2: cube ------------------------------------------------------------
+
+    def _round_two(
+        self,
+        relation: Relation,
+        sketch: SPSketch,
+        k: int,
+        m: int,
+        metrics: RunMetrics,
+    ) -> CubeResult:
+        d = relation.schema.num_dimensions
+        aggregate = self.aggregate
+        plan = self._plan_factory(sketch)
+
+        def partitioner(key, num_reducers: int) -> int:
+            if key[0] == _SKEW_TAG:
+                return 0
+            _tag, mask, values = key
+            if self.range_partitioning:
+                return 1 + sketch.partition_of(mask, values)
+            return 1 + stable_hash((mask, values)) % k
+
+        min_size = self.min_group_size
+        job = MapReduceJob(
+            name="sp-cube",
+            mapper_factory=lambda: _CubeMapper(d, aggregate, sketch, plan),
+            reducer_factory=lambda: _CubeReducer(d, aggregate, plan, min_size),
+            num_reducers=k + 1,
+            partitioner=partitioner,
+        )
+        result = run_job(job, relation.split(k), self.cluster, m)
+        metrics.jobs.append(result.metrics)
+
+        cube = CubeResult(relation.schema)
+        for (mask, values), value in result.output:
+            cube.add(mask, values, value)
+        self._write_output(cube)
+        return cube
+
+    def _plan_factory(self, sketch: SPSketch):
+        """Per-tuple plan function honouring the ablation switches."""
+        d = sketch.num_dimensions
+        use_covering = self.ancestor_covering
+        use_partial = self.map_partial_aggregation
+
+        def plan(row) -> TuplePlan:
+            bits = sketch.skew_bits(row) if use_partial else 0
+            if use_covering:
+                return plan_for_skew_bits(bits, d)
+            return plan_without_covering(bits, d)
+
+        return plan
+
+    def _write_output(self, cube: CubeResult) -> None:
+        """Persist one DFS file per cuboid, as Section 3.1 describes."""
+        per_cuboid: Dict[int, List] = {}
+        for (mask, values), value in cube.items():
+            per_cuboid.setdefault(mask, []).append((values, value))
+        for mask, rows in per_cuboid.items():
+            self.dfs.write(f"spcube/cube/cuboid-{mask}", sorted(rows))
+
+
+class _SampleMapper(Mapper):
+    """Round 1 map (Algorithm 2 lines 2-5): Bernoulli sampling."""
+
+    def __init__(self, alpha: float, seed: int):
+        self._alpha = alpha
+        self._seed = seed
+
+    def setup(self, context) -> None:
+        super().setup(context)
+        # Per-machine deterministic stream, independent across machines.
+        self._rng = random.Random(self._seed * 1_000_003 + context.machine)
+
+    def map(self, record):
+        if self._rng.random() <= self._alpha:
+            yield 0, record
+
+
+class _SketchReducer(Reducer):
+    """Round 1 reduce (Algorithm 2 lines 7-10): build the sketch in memory."""
+
+    def __init__(self, d: int, k: int, beta: float, holder: List[SPSketch]):
+        self._d = d
+        self._k = k
+        self._beta = beta
+        self._holder = holder
+
+    def reduce(self, key, values):
+        sample = values
+        # Charge the in-memory BUC over the sample: one lattice walk per row.
+        self.context.add_cpu(len(sample) * (1 << self._d))
+        sketch = build_sketch_from_sample(sample, self._d, self._k, self._beta)
+        self._holder.append(sketch)
+        return ()
+
+
+class _CubeMapper(Mapper):
+    """Round 2 map (Algorithm 3 lines 2-20)."""
+
+    def __init__(self, d: int, aggregate: AggregateFunction, sketch: SPSketch, plan):
+        self._d = d
+        self._aggregate = aggregate
+        self._sketch = sketch
+        self._plan = plan
+        self._partials: Dict[Tuple[int, Tuple], object] = {}
+
+    def map(self, record):
+        d = self._d
+        aggregate = self._aggregate
+        # One lattice-node visit per cuboid, as in the BFS traversal.
+        self.context.add_cpu(1 << d)
+
+        plan = self._plan(record)
+        measure = record[-1]
+        for mask in plan.skewed_masks:
+            key = (mask, project(record, mask, d))
+            entry = self._partials.get(key)
+            if entry is None:
+                entry = (0, aggregate.create())
+            count, state = entry
+            self._partials[key] = (count + 1, aggregate.add(state, measure))
+        for base_mask, _covered in plan.emissions:
+            values = project(record, base_mask, d)
+            yield (_GROUP_TAG, base_mask, values), record
+
+    def close(self):
+        """Flush partial aggregates of skewed groups (lines 16-20)."""
+        for (mask, values), state in sorted(
+            self._partials.items(), key=lambda item: (item[0][0], item[0][1])
+        ):
+            yield (_SKEW_TAG, mask, values), state
+
+
+class _CubeReducer(Reducer):
+    """Round 2 reduce (Algorithm 3 lines 23-31)."""
+
+    def __init__(
+        self,
+        d: int,
+        aggregate: AggregateFunction,
+        plan,
+        min_group_size: int = 1,
+    ):
+        self._d = d
+        self._aggregate = aggregate
+        self._plan = plan
+        self._min_group_size = min_group_size
+
+    def reduce(self, key, values):
+        if key[0] == _SKEW_TAG:
+            return self._reduce_skewed(key, values)
+        return self._reduce_base_group(key, values)
+
+    def _reduce_skewed(self, key, entries):
+        """Merge per-mapper partial aggregates of one skewed c-group.
+
+        Each entry is a ``(count, state)`` pair; the exact count supports
+        iceberg filtering and protects against a borderline sample having
+        flagged a group that is actually below the iceberg threshold.
+        """
+        _tag, mask, values = key
+        aggregate = self._aggregate
+        total = 0
+        merged = aggregate.create()
+        for count, state in entries:
+            total += count
+            merged = aggregate.merge(merged, state)
+        if total >= self._min_group_size:
+            yield (mask, values), aggregate.finalize(merged)
+
+    def _reduce_base_group(self, key, rows):
+        """Aggregate a non-skewed base group and every node it covers.
+
+        Equivalent to the paper's "compute BUC over ancestors": the covered
+        masks are exactly the ancestors assigned to this base by the shared
+        marking plan, and each is aggregated over ``set(g)`` locally.
+        """
+        _tag, base_mask, _values = key
+        d = self._d
+        aggregate = self._aggregate
+        accumulators: Dict[Tuple[int, Tuple], object] = {}
+
+        for row in rows:
+            covered = self._plan(row).covered_by[base_mask]
+            self.context.add_cpu(len(covered))
+            measure = row[-1]
+            for mask in covered:
+                group_key = (mask, project(row, mask, d))
+                entry = accumulators.get(group_key)
+                if entry is None:
+                    entry = (0, aggregate.create())
+                count, state = entry
+                accumulators[group_key] = (
+                    count + 1,
+                    aggregate.add(state, measure),
+                )
+
+        min_size = self._min_group_size
+        for (mask, values), (count, state) in accumulators.items():
+            if count >= min_size:
+                yield (mask, values), aggregate.finalize(state)

@@ -1,0 +1,57 @@
+"""Brute-force sequential cube — the correctness oracle.
+
+Enumerates every projection of every row and folds it into a per-group
+aggregate state.  Exponential in ``d`` and linear in ``n``, with no cleverness
+whatsoever: every distributed algorithm in this repository must reproduce
+its output exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..aggregates.functions import AggregateFunction, Count
+from ..relation.lattice import all_cuboids, project
+from ..relation.relation import Relation
+from .result import CubeResult
+
+
+def sequential_cube(
+    relation: Relation,
+    aggregate: Optional[AggregateFunction] = None,
+    masks: Optional[Iterable[int]] = None,
+) -> CubeResult:
+    """Compute the (optionally cuboid-restricted) cube of ``relation``.
+
+    Parameters
+    ----------
+    relation:
+        Input relation.
+    aggregate:
+        Aggregate function; defaults to ``count`` as in the paper.
+    masks:
+        Restrict computation to these cuboids; default is all ``2^d``.
+
+    Returns
+    -------
+    CubeResult
+        Aggregate value for every c-group of every requested cuboid.
+    """
+    aggregate = aggregate or Count()
+    d = relation.schema.num_dimensions
+    cuboid_masks = tuple(masks) if masks is not None else all_cuboids(d)
+
+    states: Dict[Tuple[int, Tuple], object] = {}
+    for row in relation:
+        measure = row[-1]
+        for mask in cuboid_masks:
+            key = (mask, project(row, mask, d))
+            state = states.get(key)
+            if state is None:
+                state = aggregate.create()
+            states[key] = aggregate.add(state, measure)
+
+    result = CubeResult(relation.schema)
+    for (mask, values), state in states.items():
+        result.add(mask, values, aggregate.finalize(state))
+    return result

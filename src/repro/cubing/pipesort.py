@@ -1,0 +1,141 @@
+"""Top-down cube computation in the PipeSort tradition (Agarwal et al. [12]).
+
+PipeSort computes coarser cuboids from finer ones: because a cuboid's groups
+partition each of its descendants' groups (Observation 2.5 read downward),
+the descendant can be derived by merging the ancestor's *aggregate states* —
+no second pass over the raw rows.  The classic algorithm picks sort orders
+to share prefixes; here we keep the essential top-down structure and choose,
+for every cuboid, the materialized parent with the fewest groups (the
+cheapest source), which is the standard minimum-cost aggregation-tree
+heuristic.
+
+This module serves two purposes:
+
+* another independent sequential implementation for cross-checking BUC and
+  the oracle;
+* the per-round building block of the multi-round top-down MapReduce
+  baseline of Lee et al. [25] (:mod:`repro.baselines.pipesort_mr`), which
+  the paper discusses in Section 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..aggregates.functions import AggregateFunction, Count
+from ..relation.lattice import (
+    all_cuboids,
+    ancestors,
+    full_mask,
+    mask_size,
+    project,
+)
+from ..relation.relation import Relation
+from .result import CubeResult
+
+
+def topdown_cube(
+    relation: Relation,
+    aggregate: Optional[AggregateFunction] = None,
+) -> CubeResult:
+    """Compute the full cube top-down from the finest cuboid.
+
+    Returns
+    -------
+    CubeResult
+    """
+    aggregate = aggregate or Count()
+    d = relation.schema.num_dimensions
+    top = full_mask(d)
+
+    # Materialize the finest cuboid's states from the raw rows.
+    states: Dict[int, Dict[Tuple, object]] = {top: {}}
+    top_states = states[top]
+    for row in relation:
+        key = project(row, top, d)
+        state = top_states.get(key)
+        if state is None:
+            state = aggregate.create()
+        top_states[key] = aggregate.add(state, row[-1])
+
+    # Derive every other cuboid from its cheapest materialized parent.
+    for mask in _topdown_order(d):
+        if mask == top:
+            continue
+        parent = _cheapest_parent(mask, d, states)
+        derived: Dict[Tuple, object] = {}
+        positions = _value_positions(parent, mask, d)
+        for parent_values, state in states[parent].items():
+            child_values = tuple(parent_values[i] for i in positions)
+            existing = derived.get(child_values)
+            if existing is None:
+                derived[child_values] = state
+            else:
+                derived[child_values] = aggregate.merge(existing, state)
+        states[mask] = derived
+
+    result = CubeResult(relation.schema)
+    for mask, cuboid_states in states.items():
+        for values, state in cuboid_states.items():
+            result.add(mask, values, aggregate.finalize(state))
+    return result
+
+
+def aggregation_tree(
+    num_dimensions: int,
+    group_counts: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """``{child_mask: parent_mask}`` — the plan used by the MR variant [25].
+
+    When ``group_counts`` (estimated cuboid cardinalities) is provided, the
+    cheapest parent by estimated group count wins, matching the cost-driven
+    path selection of PipeSort; otherwise the numerically smallest parent is
+    used, which still yields a valid top-down plan.
+    """
+    plan: Dict[int, int] = {}
+    top = full_mask(num_dimensions)
+    for mask in all_cuboids(num_dimensions):
+        if mask == top:
+            continue
+        parents = list(ancestors(mask, num_dimensions))
+        if group_counts:
+            parents.sort(key=lambda p: (group_counts.get(p, 0), p))
+        else:
+            parents.sort()
+        plan[mask] = parents[0]
+    return plan
+
+
+def _topdown_order(d: int) -> List[int]:
+    """Masks from finest to coarsest so parents are materialized first."""
+    return sorted(all_cuboids(d), key=lambda m: (-mask_size(m), m))
+
+
+def _cheapest_parent(
+    mask: int, d: int, states: Dict[int, Dict[Tuple, object]]
+) -> int:
+    """The materialized direct ancestor with the fewest groups."""
+    candidates = [p for p in ancestors(mask, d) if p in states]
+    if not candidates:
+        raise RuntimeError(f"no materialized parent for cuboid {mask:b}")
+    return min(candidates, key=lambda p: (len(states[p]), p))
+
+
+def _value_positions(parent: int, child: int, d: int) -> Tuple[int, ...]:
+    """Indices into the parent's value tuple that survive in the child.
+
+    The parent's values are ordered by dimension index; the child keeps the
+    subset of dimensions in ``child``, which must be a subset of ``parent``.
+    """
+    if child & ~parent:
+        raise ValueError(
+            f"cuboid {child:b} is not a descendant of {parent:b}"
+        )
+    positions = []
+    value_index = 0
+    for dim in range(d):
+        if parent >> dim & 1:
+            if child >> dim & 1:
+                positions.append(value_index)
+            value_index += 1
+    return tuple(positions)

@@ -1,0 +1,149 @@
+"""The materialized cube: every c-group of every cuboid with its aggregate.
+
+All algorithms in this repository — sequential oracles and distributed
+engines alike — return a :class:`CubeResult`, so correctness is always a
+straight equality check between two of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..relation.lattice import (
+    CGroup,
+    all_cuboids,
+    format_group,
+    group_sort_key,
+    mask_size,
+)
+from ..relation.schema import Schema
+
+
+class CubeResult:
+    """Mapping from c-group ``(mask, values)`` to its aggregate value.
+
+    Parameters
+    ----------
+    schema:
+        The input relation's schema (used for rendering and cuboid math).
+    groups:
+        Optional initial ``{(mask, values): aggregate_value}`` mapping.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        groups: Optional[Dict[CGroup, object]] = None,
+    ):
+        self.schema = schema
+        self._groups: Dict[CGroup, object] = dict(groups or {})
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, mask: int, values: Tuple, aggregate_value) -> None:
+        """Record the aggregate of one c-group.
+
+        Raises if the group was already recorded with a *different* value —
+        a distributed algorithm emitting a group twice is always a bug.
+        """
+        key = (mask, values)
+        if key in self._groups and self._groups[key] != aggregate_value:
+            raise ValueError(
+                f"conflicting values for c-group {key}: "
+                f"{self._groups[key]!r} vs {aggregate_value!r}"
+            )
+        self._groups[key] = aggregate_value
+
+    # -- access ---------------------------------------------------------------
+
+    def value(self, mask: int, values: Tuple):
+        """Aggregate value of one c-group; KeyError when absent."""
+        return self._groups[(mask, values)]
+
+    def get(self, mask: int, values: Tuple, default=None):
+        return self._groups.get((mask, values), default)
+
+    def cuboid(self, mask: int) -> Dict[Tuple, object]:
+        """All groups of one cuboid: ``{values: aggregate_value}``."""
+        return {
+            values: agg
+            for (m, values), agg in self._groups.items()
+            if m == mask
+        }
+
+    def items(self) -> Iterator[Tuple[CGroup, object]]:
+        return iter(self._groups.items())
+
+    @property
+    def num_groups(self) -> int:
+        """Total c-groups across all cuboids (the paper quotes these counts
+        per dataset, e.g. ~180M for Wikipedia)."""
+        return len(self._groups)
+
+    def groups_per_cuboid(self) -> Dict[int, int]:
+        """``{mask: group count}`` — the cube's shape."""
+        counts: Dict[int, int] = {
+            mask: 0 for mask in all_cuboids(self.schema.num_dimensions)
+        }
+        for mask, _values in self._groups:
+            counts[mask] += 1
+        return counts
+
+    def to_rows(self) -> List[Tuple[int, Tuple, object]]:
+        """Deterministically ordered ``(mask, values, value)`` rows."""
+        return sorted(
+            ((mask, values, agg) for (mask, values), agg in self._groups.items()),
+            key=lambda row: group_sort_key(row[0], row[1]),
+        )
+
+    # -- comparison -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CubeResult):
+            return NotImplemented
+        return self._groups == other._groups
+
+    def __hash__(self):  # pragma: no cover - results are not hashable
+        raise TypeError("CubeResult is unhashable")
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __contains__(self, key: CGroup) -> bool:
+        return key in self._groups
+
+    def diff(self, other: "CubeResult", limit: int = 10) -> List[str]:
+        """Human-readable discrepancies against ``other`` (for test output)."""
+        problems: List[str] = []
+        for key, agg in self._groups.items():
+            if key not in other._groups:
+                problems.append(f"missing in other: {self._render(key)} = {agg!r}")
+            elif other._groups[key] != agg:
+                problems.append(
+                    f"mismatch at {self._render(key)}: "
+                    f"{agg!r} vs {other._groups[key]!r}"
+                )
+            if len(problems) >= limit:
+                return problems
+        for key in other._groups:
+            if key not in self._groups:
+                problems.append(
+                    f"extra in other: {self._render(key)} = "
+                    f"{other._groups[key]!r}"
+                )
+                if len(problems) >= limit:
+                    break
+        return problems
+
+    def _render(self, key: CGroup) -> str:
+        mask, values = key
+        return format_group(mask, values, self.schema)
+
+    def __repr__(self) -> str:
+        levels = max(
+            (mask_size(mask) for mask, _ in self._groups), default=0
+        )
+        return (
+            f"CubeResult({len(self._groups)} groups, "
+            f"{levels}-level lattice)"
+        )

@@ -1,0 +1,29 @@
+"""Workload generators: the paper's synthetic processes and dataset stand-ins."""
+
+from .adversarial import (
+    adversarial_memory,
+    adversarial_relation,
+    expected_emissions_per_tuple,
+)
+from .binomial import NUM_SKEW_VALUES, gen_binomial
+from .weblogs import (
+    USAGOV_CUBE_DIMENSIONS,
+    project_to_dimensions,
+    usagov_clicks,
+    wikipedia_traffic,
+)
+from .zipf import ZipfSampler, gen_zipf
+
+__all__ = [
+    "adversarial_memory",
+    "adversarial_relation",
+    "expected_emissions_per_tuple",
+    "NUM_SKEW_VALUES",
+    "gen_binomial",
+    "USAGOV_CUBE_DIMENSIONS",
+    "project_to_dimensions",
+    "usagov_clicks",
+    "wikipedia_traffic",
+    "ZipfSampler",
+    "gen_zipf",
+]

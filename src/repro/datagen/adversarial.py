@@ -1,0 +1,77 @@
+"""Worst-case relations for the traffic lower bound of Theorem 5.3.
+
+Theorem 5.3 exhibits a relation forcing SP-Cube to ship ``Theta(2^d * n)``
+intermediate records.  The mechanism: make every c-group at lattice levels
+``<= d/2`` skewed while every level-``d/2 + 1`` c-group is not.  Then, for
+every tuple, each of the ``C(d, d/2 + 1)`` level-``d/2 + 1`` nodes is an
+unmarked non-skewed node (nothing below it could cover it) and gets its own
+emission — ``Theta(2^d / sqrt(d))`` emissions per tuple.
+
+**Note on the paper's literal construction.**  The paper builds ``w = m+1``
+identical copies of each 0/1 pattern of ``d/2`` ones.  Read literally, each
+level-``d/2 + 1`` projection of such a tuple also contains at least the
+``w > m`` copies of its own pattern, so those groups are skewed too — in
+fact *every* projection is, and SP-Cube absorbs the whole relation map-side
+(zero emissions), the opposite of the intended bound.  What the proof's
+argument actually needs is the skew boundary to sit exactly at level
+``d/2``, and :func:`adversarial_relation` realizes that directly: ``d``
+independent uniform *binary* attributes.  Level-``j`` groups then hold
+``~ n / 2^j`` tuples, so choosing the memory budget ``m`` strictly between
+``n / 2^(d/2+1)`` and ``n / 2^(d/2)`` (see :func:`adversarial_memory`)
+puts every level ``<= d/2`` over the skew threshold and every level
+``> d/2`` under it — the theorem's configuration.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..relation.relation import Relation
+from ..relation.schema import Schema
+
+
+def adversarial_relation(
+    num_dimensions: int,
+    num_rows: int,
+    seed: int = 0,
+    measure: int = 1,
+) -> Relation:
+    """Theorem 5.3 worst case: ``d`` independent uniform binary attributes.
+
+    Use together with :func:`adversarial_memory` — the bound only holds
+    when ``m`` sits in the level-``d/2`` window.
+    """
+    if num_dimensions < 2 or num_dimensions % 2 != 0:
+        raise ValueError("the construction needs an even d >= 2")
+    if num_rows <= 0:
+        raise ValueError("num_rows must be positive")
+    rng = random.Random(seed)
+    rows = [
+        tuple(rng.randint(0, 1) for _ in range(num_dimensions)) + (measure,)
+        for _ in range(num_rows)
+    ]
+    schema = Schema(
+        [f"a{i + 1}" for i in range(num_dimensions)], measure="m"
+    )
+    return Relation(
+        schema,
+        rows,
+        validate=False,
+        name=f"adversarial(d={num_dimensions}, n={num_rows})",
+    )
+
+
+def adversarial_memory(num_dimensions: int, num_rows: int) -> int:
+    """The ``m`` placing the skew boundary at level ``d/2``.
+
+    The geometric mean of the expected level-``d/2`` and level-``d/2 + 1``
+    group sizes: ``n / 2^(d/2 + 1/2)``.
+    """
+    half = num_dimensions // 2
+    return max(1, int(num_rows / (2 ** (half + 0.5))))
+
+
+def expected_emissions_per_tuple(num_dimensions: int) -> int:
+    """``C(d, d/2 + 1)`` — the per-tuple emissions the bound predicts."""
+    return math.comb(num_dimensions, num_dimensions // 2 + 1)

@@ -1,0 +1,76 @@
+"""The gen-binomial dataset (paper Section 6.2).
+
+Generation process, verbatim from the paper: each tuple independently is
+
+* with probability ``p`` — a *skew* tuple: draw ``i`` uniformly from
+  ``{1..20}`` and set every attribute to ``i`` (the tuples ``(1,1,...,1)``,
+  ``(2,2,...,2)``, ...);
+* with probability ``1 - p`` — a *tail* tuple: every attribute an
+  independent uniform 32-bit integer.
+
+A fraction ``p`` of the data therefore contributes to skewed groups in
+*every* cuboid, while the tail is essentially collision-free — the knob the
+paper turns in Figure 6 to isolate skew sensitivity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..relation.relation import Relation
+from ..relation.schema import Schema
+
+#: Number of distinct skew tuples, as in the paper.
+NUM_SKEW_VALUES = 20
+_UINT32_MAX = (1 << 32) - 1
+
+
+def gen_binomial(
+    num_rows: int,
+    skew_probability: float,
+    num_dimensions: int = 4,
+    seed: int = 0,
+    measure: Optional[int] = 1,
+) -> Relation:
+    """Generate a gen-binomial relation.
+
+    Parameters
+    ----------
+    num_rows:
+        ``n``, the number of tuples.
+    skew_probability:
+        ``p`` in [0, 1] — the fraction of tuples drawn from the 20 skew
+        patterns.
+    num_dimensions:
+        ``d``; the paper reports 4-dimensional runs.
+    seed:
+        RNG seed for reproducibility.
+    measure:
+        Constant measure value; ``None`` draws a uniform value in 1..100
+        (the paper aggregates with ``count``, so the measure is inert).
+    """
+    if not 0.0 <= skew_probability <= 1.0:
+        raise ValueError(f"skew probability {skew_probability} outside [0, 1]")
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(num_rows):
+        if rng.random() < skew_probability:
+            value = rng.randint(1, NUM_SKEW_VALUES)
+            dims = (value,) * num_dimensions
+        else:
+            dims = tuple(
+                rng.randint(0, _UINT32_MAX) for _ in range(num_dimensions)
+            )
+        b = measure if measure is not None else rng.randint(1, 100)
+        rows.append(dims + (b,))
+
+    schema = Schema(
+        [f"a{i + 1}" for i in range(num_dimensions)], measure="m"
+    )
+    return Relation(
+        schema,
+        rows,
+        validate=False,
+        name=f"gen-binomial(n={num_rows}, p={skew_probability})",
+    )

@@ -1,0 +1,42 @@
+"""Shared interface implemented by every cube algorithm in this repository.
+
+All engines — SP-Cube and the baselines — expose::
+
+    algorithm = SomeCube(cluster=ClusterConfig(...), aggregate=Count())
+    run = algorithm.compute(relation)
+    run.cube      # CubeResult: every c-group with its aggregate value
+    run.metrics   # RunMetrics: simulated times, traffic, balance, failures
+
+which is what the experiment harness (:mod:`repro.analysis`) builds the
+paper's figures from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
+
+from .cubing.result import CubeResult
+from .mapreduce.metrics import RunMetrics
+from .relation.relation import Relation
+
+
+@dataclass
+class CubeRun:
+    """Result of one algorithm execution: the cube plus its cost profile."""
+
+    cube: CubeResult
+    metrics: RunMetrics
+    #: SP-Cube also returns the sketch it built (None for baselines).
+    sketch: Optional[object] = field(default=None)
+
+
+@runtime_checkable
+class CubeAlgorithm(Protocol):
+    """Structural type of a cube engine."""
+
+    name: str
+
+    def compute(self, relation: Relation) -> CubeRun:
+        """Compute the full cube of ``relation``."""
+        ...

@@ -1,0 +1,48 @@
+"""Simulated MapReduce substrate: cluster, engine, metrics, cost model, DFS."""
+
+from .cluster import ClusterConfig
+from .costmodel import CostModel
+from .dfs import DistributedFileSystem, FileNotFound
+from .engine import (
+    DEFAULT_OOM_QUORUM_FRACTION,
+    DEFAULT_OVERSIZED_DOMINANCE,
+    DEFAULT_VALUE_BUFFER_FRACTION,
+    FunctionMapper,
+    FunctionReducer,
+    JobResult,
+    Mapper,
+    MapReduceJob,
+    Reducer,
+    TaskContext,
+    hash_partitioner,
+    run_job,
+    stable_hash,
+)
+from .metrics import JobMetrics, RunMetrics, TaskMetrics
+from .sizes import estimate_bytes, pair_bytes, relation_bytes
+
+__all__ = [
+    "ClusterConfig",
+    "CostModel",
+    "DistributedFileSystem",
+    "FileNotFound",
+    "DEFAULT_OOM_QUORUM_FRACTION",
+    "DEFAULT_OVERSIZED_DOMINANCE",
+    "DEFAULT_VALUE_BUFFER_FRACTION",
+    "FunctionMapper",
+    "FunctionReducer",
+    "JobResult",
+    "Mapper",
+    "MapReduceJob",
+    "Reducer",
+    "TaskContext",
+    "hash_partitioner",
+    "run_job",
+    "stable_hash",
+    "JobMetrics",
+    "RunMetrics",
+    "TaskMetrics",
+    "estimate_bytes",
+    "pair_bytes",
+    "relation_bytes",
+]

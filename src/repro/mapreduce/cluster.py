@@ -1,0 +1,76 @@
+"""Simulated cluster configuration (paper Section 2.3).
+
+The paper's model: ``k`` machines, the ``n`` input tuples equally loaded,
+``m = n / k``, and each machine's main memory is ``O(m)``.  A c-group is
+*skewed* when ``|set(g)| > m`` (Definition 2.7).
+
+:class:`ClusterConfig` pins these parameters for a run.  ``memory_records``
+may be left unset, in which case it is derived as ``ceil(n / k)`` when a job
+starts — exactly the paper's convention — and fixed for the rest of the run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .costmodel import CostModel
+
+
+@dataclass
+class ClusterConfig:
+    """Static description of the simulated MapReduce cluster.
+
+    Parameters
+    ----------
+    num_machines:
+        ``k`` — machines available; each runs one map task and one reduce
+        task per round (paper Section 2.3).  The paper's testbed used 20.
+    memory_records:
+        ``m`` — per-machine main-memory capacity, in records.  ``None``
+        derives ``ceil(n / k)`` from the input size at job start.
+    memory_slack:
+        Multiplier on ``m`` for the *physical* memory bound used by spill
+        accounting ("memory is O(m)"); the skew threshold itself always
+        uses ``m`` exactly.
+    cost_model:
+        Coefficients that translate simulator counters into simulated
+        seconds; see :class:`~repro.mapreduce.costmodel.CostModel`.
+    seed:
+        Seed for any randomized behaviour tied to the cluster (sampling).
+    """
+
+    num_machines: int = 20
+    memory_records: Optional[int] = None
+    memory_slack: float = 2.0
+    cost_model: CostModel = field(default_factory=CostModel)
+    seed: int = 0x5BC
+
+    def __post_init__(self) -> None:
+        if self.num_machines <= 0:
+            raise ValueError("num_machines must be positive")
+        if self.memory_records is not None and self.memory_records <= 0:
+            raise ValueError("memory_records must be positive when given")
+        if self.memory_slack < 1.0:
+            raise ValueError("memory_slack must be >= 1")
+
+    def derive_memory(self, num_input_records: int) -> int:
+        """``m`` for an input of the given size (paper: ``m = n / k``)."""
+        if self.memory_records is not None:
+            return self.memory_records
+        return max(1, math.ceil(num_input_records / self.num_machines))
+
+    def physical_memory(self, memory_records: int) -> int:
+        """Records a machine can actually hold before spilling."""
+        return max(1, int(memory_records * self.memory_slack))
+
+    def with_memory(self, memory_records: int) -> "ClusterConfig":
+        """A copy of this config with ``m`` pinned explicitly."""
+        return ClusterConfig(
+            num_machines=self.num_machines,
+            memory_records=memory_records,
+            memory_slack=self.memory_slack,
+            cost_model=self.cost_model,
+            seed=self.seed,
+        )

@@ -1,0 +1,64 @@
+"""A minimal in-memory stand-in for the cluster's distributed file system.
+
+Paper Section 2.3 assumes all machines share a DFS from which the relation
+is read and to which the cube (and the SP-Sketch, between rounds) is
+written.  This module provides exactly that contract: named files holding
+record lists, with byte accounting so broadcast artifacts like the sketch
+can be measured the way the paper measures them (Figure 5c, 6c).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .sizes import estimate_bytes
+
+
+class FileNotFound(KeyError):
+    """Raised when reading a path that was never written."""
+
+
+class DistributedFileSystem:
+    """Named record files shared by all simulated machines."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, List] = {}
+
+    def write(self, path: str, records: Iterable) -> int:
+        """Store ``records`` under ``path``; returns the record count."""
+        materialized = list(records)
+        self._files[path] = materialized
+        return len(materialized)
+
+    def append(self, path: str, records: Iterable) -> int:
+        """Append to ``path`` (creating it), as reducers writing a cuboid."""
+        materialized = list(records)
+        self._files.setdefault(path, []).extend(materialized)
+        return len(materialized)
+
+    def read(self, path: str) -> List:
+        """The records of ``path``; raises :class:`FileNotFound` if absent."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)
+
+    def size_bytes(self, path: str) -> int:
+        """Estimated serialized size of ``path`` — how sketch size is
+        reported in Figures 5c and 6c."""
+        return sum(estimate_bytes(record) for record in self.read(path))
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)

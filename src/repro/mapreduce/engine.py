@@ -1,0 +1,377 @@
+"""The simulated MapReduce execution engine.
+
+One :class:`MapReduceJob` describes a round: a mapper, a reducer, and
+optionally a combiner and a custom partitioner — the same knobs Hadoop
+exposes and the paper's algorithms rely on (custom range partitioner for
+SP-Cube, combiners for Pig's MR-Cube).
+
+Execution is deterministic and single-process, but faithful to the
+distributed data flow:
+
+* the input arrives pre-split into ``k`` chunks (one per map task);
+* each map task runs its own mapper instance (so map-side state such as
+  SP-Cube's partial aggregates is per-machine, exactly as on a cluster);
+* an optional combiner runs over each map task's buffered output;
+* pairs are routed by the partitioner and charged per-reducer;
+* each reduce task processes its keys in deterministic sorted order and may
+  spill (with a time penalty) or be flagged OOM when its input exceeds the
+  machine's physical memory.
+
+The engine returns the reduce output plus a :class:`JobMetrics` with all the
+counters the paper's figures are built from.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .cluster import ClusterConfig
+from .metrics import JobMetrics, TaskMetrics
+from .sizes import estimate_bytes, pair_bytes
+
+Pair = Tuple[object, object]
+
+#: Fraction of a machine's physical memory that one key-group's buffered
+#: values may occupy before the group counts as *oversized*.  Hadoop-era
+#: engines (Pig bags, Hive's generic UDAF evaluation) materialize each
+#: key's value list while aggregating it.
+DEFAULT_VALUE_BUFFER_FRACTION = 0.75
+
+#: A reduce task is flagged as failing when more than this fraction of its
+#: input records sit in oversized groups: the task then spends most of its
+#: heap churning giant value runs (the JVM GC death spiral), blows its task
+#: timeout, and is killed/retried.  One oversized run among plenty of
+#: normal work amortizes; domination does not.
+DEFAULT_OVERSIZED_DOMINANCE = 1.0 / 3.0
+
+#: A job is declared failed ("stuck", as the paper describes Hive for
+#: p >= 0.4 in Figure 6a) when at least this fraction of its reduce tasks
+#: are flagged (with an absolute floor of 2).  A single struggling reducer
+#: is survivable through spilling and speculative retries; widespread
+#: overload is not.
+DEFAULT_OOM_QUORUM_FRACTION = 0.25
+
+
+def stable_hash(obj) -> int:
+    """Deterministic, process-independent hash (Python's ``hash`` is salted)."""
+    return zlib.crc32(repr(obj).encode())
+
+
+def hash_partitioner(key, num_reducers: int) -> int:
+    """Hadoop's default routing: stable hash of the key modulo reducers."""
+    return stable_hash(key) % num_reducers
+
+
+class TaskContext:
+    """Per-task handle giving user code access to cluster facts and counters."""
+
+    def __init__(self, machine: int, num_machines: int, memory_records: int):
+        self.machine = machine
+        self.num_machines = num_machines
+        self.memory_records = memory_records
+        self._extra_cpu = 0
+        self.counters: Dict[str, int] = {}
+
+    def add_cpu(self, ops: int) -> None:
+        """Charge additional CPU work (e.g. lattice-node visits) to the task."""
+        self._extra_cpu += ops
+
+    def incr(self, counter: str, amount: int = 1) -> None:
+        """Bump a named user counter (exposed for tests and diagnostics)."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    @property
+    def extra_cpu(self) -> int:
+        return self._extra_cpu
+
+
+class Mapper:
+    """Base mapper.  Subclasses override :meth:`map` and optionally
+    :meth:`setup`/:meth:`close`; ``close`` may emit final pairs (SP-Cube
+    flushes its skew partial aggregates there)."""
+
+    def setup(self, context: TaskContext) -> None:
+        self.context = context
+
+    def map(self, record) -> Iterable[Pair]:
+        raise NotImplementedError
+
+    def close(self) -> Iterable[Pair]:
+        return ()
+
+
+class Reducer:
+    """Base reducer.  ``reduce`` is called once per key with all its values,
+    in deterministic key order; ``close`` may emit trailing pairs."""
+
+    def setup(self, context: TaskContext) -> None:
+        self.context = context
+
+    def reduce(self, key, values: List) -> Iterable[Pair]:
+        raise NotImplementedError
+
+    def close(self) -> Iterable[Pair]:
+        return ()
+
+
+class FunctionMapper(Mapper):
+    """Adapter turning a plain ``record -> iterable[(k, v)]`` function into
+    a :class:`Mapper`."""
+
+    def __init__(self, fn: Callable[[object], Iterable[Pair]]):
+        self._fn = fn
+
+    def map(self, record) -> Iterable[Pair]:
+        return self._fn(record)
+
+
+class FunctionReducer(Reducer):
+    """Adapter turning a plain ``(key, values) -> iterable[(k, v)]``
+    function into a :class:`Reducer`."""
+
+    def __init__(self, fn: Callable[[object, List], Iterable[Pair]]):
+        self._fn = fn
+
+    def reduce(self, key, values: List) -> Iterable[Pair]:
+        return self._fn(key, values)
+
+
+@dataclass
+class MapReduceJob:
+    """Description of one MapReduce round.
+
+    ``mapper_factory`` / ``reducer_factory`` are called once per task so
+    per-machine state is isolated, mirroring separate JVMs on a cluster.
+    ``combiner`` has the Hadoop signature ``(key, values) -> pairs`` and
+    runs over each map task's buffered output before the shuffle.
+    """
+
+    name: str
+    mapper_factory: Callable[[], Mapper]
+    reducer_factory: Callable[[], Reducer]
+    num_reducers: Optional[int] = None
+    partitioner: Callable[[object, int], int] = hash_partitioner
+    combiner: Optional[Callable[[object, List], Iterable[Pair]]] = None
+    #: Per-group value-buffer limit as a fraction of physical memory;
+    #: groups above it are *oversized*.  ``None`` (the default) disables
+    #: the failure check: real engines aggregate common functions in a
+    #: streaming fashion, so giant groups cost time (spills), not
+    #: correctness.  Engines that genuinely buffer per-group value lists
+    #: can opt in.
+    value_buffer_fraction: Optional[float] = None
+    #: A reducer is flagged when oversized groups hold more than this
+    #: fraction of its input records.
+    oversized_dominance: float = DEFAULT_OVERSIZED_DOMINANCE
+    #: Fraction of flagged reduce tasks at which the job counts as failed.
+    oom_quorum_fraction: float = DEFAULT_OOM_QUORUM_FRACTION
+
+    @classmethod
+    def from_functions(
+        cls,
+        name: str,
+        map_fn: Callable[[object], Iterable[Pair]],
+        reduce_fn: Callable[[object, List], Iterable[Pair]],
+        **kwargs,
+    ) -> "MapReduceJob":
+        """Convenience constructor from bare functions."""
+        return cls(
+            name=name,
+            mapper_factory=lambda: FunctionMapper(map_fn),
+            reducer_factory=lambda: FunctionReducer(reduce_fn),
+            **kwargs,
+        )
+
+
+def _ordered_keys(keys) -> List:
+    """Keys in a deterministic order, tolerating non-comparable mixes."""
+    try:
+        return sorted(keys)
+    except TypeError:
+        return sorted(keys, key=repr)
+
+
+@dataclass
+class JobResult:
+    """Reduce output plus the round's metrics."""
+
+    output: List[Pair]
+    metrics: JobMetrics
+    reducer_outputs: List[List[Pair]] = field(default_factory=list)
+
+
+def run_job(
+    job: MapReduceJob,
+    input_chunks: Sequence[Sequence],
+    cluster: ClusterConfig,
+    memory_records: int,
+) -> JobResult:
+    """Execute one MapReduce round over pre-split input.
+
+    Parameters
+    ----------
+    job:
+        The round description.
+    input_chunks:
+        One record sequence per map task (``len(input_chunks)`` map tasks).
+    cluster:
+        Cluster shape and cost model.
+    memory_records:
+        ``m``, the per-machine memory in records for this run.
+    """
+    cost = cluster.cost_model
+    num_reducers = job.num_reducers or cluster.num_machines
+    metrics = JobMetrics(
+        name=job.name,
+        oom_quorum=max(2, int(job.oom_quorum_fraction * num_reducers)),
+    )
+
+    # ---- map phase --------------------------------------------------------
+    reducer_buckets: List[List[Pair]] = [[] for _ in range(num_reducers)]
+    reducer_bytes = [0] * num_reducers
+    # Partitioners must be pure functions of the key (as in Hadoop), so the
+    # routing decision and the key's serialized size are cached per key —
+    # skewed workloads re-emit the same keys millions of times.
+    key_cache: Dict[object, Tuple[int, int]] = {}
+
+    for machine, chunk in enumerate(input_chunks):
+        task = TaskMetrics(machine=machine)
+        context = TaskContext(machine, cluster.num_machines, memory_records)
+        mapper = job.mapper_factory()
+        mapper.setup(context)
+
+        buffered: List[Pair] = []
+        for record in chunk:
+            task.records_in += 1
+            for pair in mapper.map(record):
+                buffered.append(pair)
+        for pair in mapper.close():
+            buffered.append(pair)
+
+        if job.combiner is not None:
+            buffered = _apply_combiner(job.combiner, buffered, context)
+
+        for key, value in buffered:
+            info = key_cache.get(key)
+            if info is None:
+                target = job.partitioner(key, num_reducers)
+                if not 0 <= target < num_reducers:
+                    raise ValueError(
+                        f"partitioner routed key {key!r} to reducer "
+                        f"{target} of {num_reducers}"
+                    )
+                info = (estimate_bytes(key), target)
+                key_cache[key] = info
+            key_bytes, target = info
+            size = key_bytes + estimate_bytes(value)
+            task.records_out += 1
+            task.bytes_out += size
+            reducer_buckets[target].append((key, value))
+            reducer_bytes[target] += size
+
+        task.cpu_ops = task.records_in + task.records_out + context.extra_cpu
+        task.seconds = cost.map_task_seconds(task.cpu_ops, task.bytes_out)
+        metrics.map_tasks.append(task)
+        metrics.map_output_bytes += task.bytes_out
+        metrics.map_output_records += task.records_out
+
+    metrics.map_phase_seconds = cost.round_startup_seconds + max(
+        (t.seconds for t in metrics.map_tasks), default=0.0
+    )
+
+    # ---- shuffle ----------------------------------------------------------
+    metrics.shuffle_seconds = cost.shuffle_seconds(
+        max(reducer_bytes, default=0)
+    )
+
+    # ---- reduce phase -----------------------------------------------------
+    physical = cluster.physical_memory(memory_records)
+    output: List[Pair] = []
+    reducer_outputs: List[List[Pair]] = []
+
+    for machine, bucket in enumerate(reducer_buckets):
+        task = TaskMetrics(machine=machine)
+        context = TaskContext(machine, cluster.num_machines, memory_records)
+        reducer = job.reducer_factory()
+        reducer.setup(context)
+
+        grouped: Dict[object, List] = {}
+        for key, value in bucket:
+            grouped.setdefault(key, []).append(value)
+            task.records_in += 1
+        task.bytes_in = reducer_bytes[machine]
+
+        task.peak_group_records = max(
+            (len(values) for values in grouped.values()), default=0
+        )
+        task.spilled_records = max(0, task.records_in - physical)
+        if job.value_buffer_fraction is not None:
+            buffer_limit = job.value_buffer_fraction * physical
+            oversized_volume = sum(
+                len(values)
+                for values in grouped.values()
+                if len(values) > buffer_limit
+            )
+            if (
+                oversized_volume
+                > job.oversized_dominance * task.records_in
+            ):
+                metrics.oom_reducers.append(machine)
+
+        reducer_output: List[Pair] = []
+        for key in _ordered_keys(grouped):
+            for pair in reducer.reduce(key, grouped[key]):
+                reducer_output.append(pair)
+        for pair in reducer.close():
+            reducer_output.append(pair)
+
+        for key, value in reducer_output:
+            task.records_out += 1
+            task.bytes_out += pair_bytes(key, value)
+
+        task.cpu_ops = (
+            task.records_in + task.records_out + context.extra_cpu
+        )
+        task.seconds = cost.reduce_task_seconds(
+            task.cpu_ops, task.spilled_records, task.bytes_out
+        )
+        metrics.reduce_tasks.append(task)
+        output.extend(reducer_output)
+        reducer_outputs.append(reducer_output)
+
+    metrics.reduce_phase_seconds = cost.round_startup_seconds + max(
+        (t.seconds for t in metrics.reduce_tasks), default=0.0
+    )
+    metrics.total_seconds = (
+        metrics.map_phase_seconds
+        + metrics.shuffle_seconds
+        + metrics.reduce_phase_seconds
+    )
+    return JobResult(
+        output=output, metrics=metrics, reducer_outputs=reducer_outputs
+    )
+
+
+def _apply_combiner(
+    combiner: Callable[[object, List], Iterable[Pair]],
+    pairs: List[Pair],
+    context: TaskContext,
+) -> List[Pair]:
+    """Group a map task's buffer by key and fold it through the combiner."""
+    grouped: Dict[object, List] = {}
+    for key, value in pairs:
+        grouped.setdefault(key, []).append(value)
+    context.add_cpu(len(pairs))
+    combined: List[Pair] = []
+    for key in _ordered_keys(grouped):
+        combined.extend(combiner(key, grouped[key]))
+    return combined

@@ -1,0 +1,161 @@
+"""Metrics collected by the simulator — the paper's measurement surface.
+
+Section 6 reports, per experiment: total running time, *average* map and
+reduce task times, and intermediate (map output / network) data size.  A
+:class:`JobMetrics` captures one MapReduce round; a :class:`RunMetrics`
+aggregates the rounds of one algorithm execution plus algorithm-specific
+extras (e.g. the SP-Sketch serialized size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TaskMetrics:
+    """Counters for a single map or reduce task (one machine, one phase)."""
+
+    machine: int = 0
+    records_in: int = 0
+    records_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    cpu_ops: int = 0
+    spilled_records: int = 0
+    peak_group_records: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class JobMetrics:
+    """Counters and derived times for one MapReduce round."""
+
+    name: str
+    map_tasks: List[TaskMetrics] = field(default_factory=list)
+    reduce_tasks: List[TaskMetrics] = field(default_factory=list)
+    #: Serialized bytes of all map-output pairs after combining — the
+    #: paper's "map output size" / "intermediate data size".
+    map_output_bytes: int = 0
+    map_output_records: int = 0
+    #: Simulated phase durations (max over machines + round startup).
+    map_phase_seconds: float = 0.0
+    shuffle_seconds: float = 0.0
+    reduce_phase_seconds: float = 0.0
+    total_seconds: float = 0.0
+    #: Reducers whose per-group value buffer overflowed (models Hive's
+    #: "stuck" reducers in Figure 6).
+    oom_reducers: List[int] = field(default_factory=list)
+    #: Flagged-reducer count at which the job counts as failed; a single
+    #: hot reducer survives through spills and task retries.
+    oom_quorum: int = 2
+    #: Set by an algorithm's own failure model (see HiveCube) when the job
+    #: is stuck regardless of per-reducer flags.
+    forced_failure: bool = False
+
+    @property
+    def avg_map_seconds(self) -> float:
+        """Average map task time — Figure 5b / 8b's measure."""
+        if not self.map_tasks:
+            return 0.0
+        return sum(t.seconds for t in self.map_tasks) / len(self.map_tasks)
+
+    @property
+    def avg_reduce_seconds(self) -> float:
+        """Average reduce task time — Figure 4b / 7b's measure."""
+        if not self.reduce_tasks:
+            return 0.0
+        return sum(t.seconds for t in self.reduce_tasks) / len(
+            self.reduce_tasks
+        )
+
+    @property
+    def max_reducer_input_records(self) -> int:
+        return max((t.records_in for t in self.reduce_tasks), default=0)
+
+    @property
+    def reducer_input_records(self) -> List[int]:
+        return [t.records_in for t in self.reduce_tasks]
+
+    @property
+    def reducer_output_bytes(self) -> List[int]:
+        return [t.bytes_out for t in self.reduce_tasks]
+
+    @property
+    def failed(self) -> bool:
+        return (
+            self.forced_failure
+            or len(self.oom_reducers) >= self.oom_quorum
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated metrics for one full algorithm execution.
+
+    ``extras`` carries algorithm-specific measurements, keyed by name —
+    e.g. ``{"sketch_bytes": 123456, "sample_size": 789}`` for SP-Cube.
+    """
+
+    algorithm: str
+    jobs: List[JobMetrics] = field(default_factory=list)
+    extras: Dict[str, float] = field(default_factory=dict)
+    output_groups: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end simulated running time (Figures 4a/5a/6a/7a/8a)."""
+        return sum(job.total_seconds for job in self.jobs)
+
+    @property
+    def intermediate_bytes(self) -> int:
+        """Total map-output traffic across rounds (Figures 4c/6b/7c/8c)."""
+        return sum(job.map_output_bytes for job in self.jobs)
+
+    @property
+    def intermediate_records(self) -> int:
+        return sum(job.map_output_records for job in self.jobs)
+
+    @property
+    def avg_map_seconds(self) -> float:
+        """Average map time of the (last) cube round."""
+        cube_round = self._cube_round()
+        return cube_round.avg_map_seconds if cube_round else 0.0
+
+    @property
+    def avg_reduce_seconds(self) -> float:
+        """Average reduce time of the (last) cube round."""
+        cube_round = self._cube_round()
+        return cube_round.avg_reduce_seconds if cube_round else 0.0
+
+    @property
+    def failed(self) -> bool:
+        """True when any round had OOM-flagged reducers (Hive at p>=0.4)."""
+        return any(job.failed for job in self.jobs)
+
+    @property
+    def reducer_balance(self) -> float:
+        """max/mean reducer input of the cube round (1.0 = perfectly even).
+
+        Section 6.2 closes by noting SP-Cube's reducer outputs were of
+        similar sizes; this ratio quantifies that.
+        """
+        cube_round = self._cube_round()
+        if cube_round is None:
+            return 0.0
+        loads = [r for r in cube_round.reducer_input_records if r > 0]
+        if not loads:
+            return 0.0
+        return max(loads) / (sum(loads) / len(loads))
+
+    def _cube_round(self) -> Optional[JobMetrics]:
+        """The round that did the cube's work: the one shuffling the most.
+
+        Multi-round algorithms surround the materialization round with
+        cheap sampling/post-aggregation rounds; per-task averages quoted
+        for the run (as the paper does) refer to the dominant round.
+        """
+        if not self.jobs:
+            return None
+        return max(self.jobs, key=lambda job: job.map_output_records)

@@ -1,0 +1,5 @@
+"""OLAP query layer over materialized cubes."""
+
+from .view import CubeView, QueryError
+
+__all__ = ["CubeView", "QueryError"]

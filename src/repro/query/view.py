@@ -1,0 +1,213 @@
+"""OLAP query operations over a materialized cube.
+
+The cube exists to be queried: once an engine has produced a
+:class:`~repro.cubing.result.CubeResult`, a :class:`CubeView` answers the
+classic OLAP operations over it **without touching the base relation** —
+every roll-up, slice, dice and drill-down is a lookup into the right
+cuboid:
+
+* :meth:`rollup` — aggregate over a chosen subset of dimensions;
+* :meth:`slice` — fix some dimensions to values, aggregate the rest away;
+* :meth:`dice` — like slice but with per-dimension predicates;
+* :meth:`drilldown` — refine a group by one more dimension;
+* :meth:`top` — the k largest groups of a cuboid;
+* :meth:`pivot` — a two-dimensional cross-tab.
+
+All name-based: callers use schema dimension names, never masks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cubing.result import CubeResult
+from ..relation.lattice import mask_dimensions
+from ..relation.schema import SchemaError
+
+
+class QueryError(ValueError):
+    """Raised for queries the materialized cube cannot answer."""
+
+
+class CubeView:
+    """Name-based OLAP operations over a :class:`CubeResult`."""
+
+    def __init__(self, cube: CubeResult):
+        self.cube = cube
+        self.schema = cube.schema
+
+    # -- helpers -------------------------------------------------------------
+
+    def _mask_for(self, dimensions: Sequence[str]) -> int:
+        mask = 0
+        for name in dimensions:
+            try:
+                index = self.schema.dimension_index(name)
+            except SchemaError as exc:
+                raise QueryError(str(exc)) from None
+            bit = 1 << index
+            if mask & bit:
+                raise QueryError(f"dimension {name!r} listed twice")
+            mask |= bit
+        return mask
+
+    def _named_groups(self, mask: int) -> Dict[Tuple, object]:
+        groups = self.cube.cuboid(mask)
+        if not groups and mask != 0:
+            # Distinguish "empty cuboid" from "never materialized": a full
+            # cube always has the apex, so an entirely absent cuboid on a
+            # non-empty cube means partial materialization.
+            if self.cube.num_groups and not self.cube.cuboid(0):
+                raise QueryError("cube has no apex; is it materialized?")
+        return groups
+
+    # -- operations ------------------------------------------------------------
+
+    def rollup(self, *dimensions: str) -> Dict[Tuple, object]:
+        """The cuboid grouped by exactly ``dimensions``.
+
+        ``rollup()`` with no arguments returns the grand total (apex).
+
+        >>> view.rollup("name", "year")      # doctest: +SKIP
+        {("laptop", 2012): 2, ...}
+        """
+        mask = self._mask_for(dimensions)
+        ordered = mask_dimensions(mask, self.schema.num_dimensions)
+        requested = [self.schema.dimension_index(d) for d in dimensions]
+        groups = self._named_groups(mask)
+        if list(ordered) == requested:
+            return dict(groups)
+        # Caller listed dimensions out of schema order: permute values.
+        positions = [ordered.index(i) for i in requested]
+        return {
+            tuple(values[p] for p in positions): agg
+            for values, agg in groups.items()
+        }
+
+    def total(self):
+        """The grand total — the apex cuboid's single value."""
+        try:
+            return self.cube.value(0, ())
+        except KeyError:
+            raise QueryError("cube has no apex group") from None
+
+    def slice(self, **fixed) -> Dict[Tuple, object]:
+        """Fix dimensions to values; remaining dimensions stay grouped.
+
+        Returns ``{remaining-dimension values: aggregate}`` over the finest
+        cuboid that keeps every dimension (fixed ones are filtered, free
+        ones grouped).
+
+        >>> view.slice(city="Rome")          # doctest: +SKIP
+        {("laptop", 2012): 2, ...}
+        """
+        full = (1 << self.schema.num_dimensions) - 1
+        fixed_indexes = {
+            self.schema.dimension_index(name): value
+            for name, value in fixed.items()
+        }
+        groups = self._named_groups(full)
+        result: Dict[Tuple, object] = {}
+        free = [
+            i
+            for i in range(self.schema.num_dimensions)
+            if i not in fixed_indexes
+        ]
+        for values, agg in groups.items():
+            if all(values[i] == v for i, v in fixed_indexes.items()):
+                result[tuple(values[i] for i in free)] = agg
+        return result
+
+    def dice(
+        self, **predicates: Callable[[object], bool]
+    ) -> Dict[Tuple, object]:
+        """Filter the finest cuboid by per-dimension predicates.
+
+        >>> view.dice(year=lambda y: y >= 2012)    # doctest: +SKIP
+        """
+        full = (1 << self.schema.num_dimensions) - 1
+        index_predicates = {
+            self.schema.dimension_index(name): predicate
+            for name, predicate in predicates.items()
+        }
+        return {
+            values: agg
+            for values, agg in self._named_groups(full).items()
+            if all(
+                predicate(values[i])
+                for i, predicate in index_predicates.items()
+            )
+        }
+
+    def drilldown(
+        self,
+        group: Dict[str, object],
+        into: str,
+    ) -> Dict[object, object]:
+        """Refine one c-group by one more dimension.
+
+        ``group`` fixes the current dimensions (name -> value); ``into``
+        names the dimension to expand.  Returns ``{new value: aggregate}``.
+
+        >>> view.drilldown({"name": "laptop"}, into="city")  # doctest: +SKIP
+        {"Rome": 2, "Paris": 1}
+        """
+        if into in group:
+            raise QueryError(f"cannot drill into fixed dimension {into!r}")
+        dims = list(group) + [into]
+        mask = self._mask_for(dims)
+        ordered = mask_dimensions(mask, self.schema.num_dimensions)
+        into_index = self.schema.dimension_index(into)
+        fixed = {
+            self.schema.dimension_index(name): value
+            for name, value in group.items()
+        }
+        result: Dict[object, object] = {}
+        for values, agg in self._named_groups(mask).items():
+            by_index = dict(zip(ordered, values))
+            if all(by_index[i] == v for i, v in fixed.items()):
+                result[by_index[into_index]] = agg
+        return result
+
+    def top(
+        self,
+        dimensions: Sequence[str],
+        k: int = 10,
+        key: Optional[Callable[[object], object]] = None,
+    ) -> List[Tuple[Tuple, object]]:
+        """The ``k`` groups of a cuboid with the largest aggregates.
+
+        ``key`` extracts a sortable magnitude from the aggregate value
+        (identity by default — fine for count/sum).
+        """
+        if k <= 0:
+            raise QueryError("k must be positive")
+        key = key or (lambda value: value)
+        groups = self.rollup(*dimensions)
+        return sorted(
+            groups.items(), key=lambda item: (key(item[1]),), reverse=True
+        )[:k]
+
+    def pivot(
+        self, row_dim: str, column_dim: str
+    ) -> Dict[object, Dict[object, object]]:
+        """A cross-tab: ``{row value: {column value: aggregate}}``.
+
+        >>> view.pivot("name", "year")       # doctest: +SKIP
+        {"laptop": {2012: 2, 2015: 1}, ...}
+        """
+        table: Dict[object, Dict[object, object]] = {}
+        for (row, column), agg in self.rollup(row_dim, column_dim).items():
+            table.setdefault(row, {})[column] = agg
+        return table
+
+    def cuboid_sizes(self) -> Dict[Tuple[str, ...], int]:
+        """Group counts per cuboid, keyed by dimension-name tuples."""
+        sizes: Dict[Tuple[str, ...], int] = {}
+        for mask, count in self.cube.groups_per_cuboid().items():
+            names = tuple(
+                self.schema.dimensions[i]
+                for i in mask_dimensions(mask, self.schema.num_dimensions)
+            )
+            sizes[names] = count
+        return sizes

@@ -1,0 +1,94 @@
+"""Relation schemas for cube computation.
+
+A relation in this library follows the paper's model (Section 2.1): it has
+``d`` *dimension* attributes ``A1..Ad`` and one numeric *measure* attribute
+``B``.  Rows are plain Python tuples ``(a1, ..., ad, b)``; the schema object
+carries the attribute names and provides index arithmetic so the rest of the
+library can treat rows positionally.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+class SchemaError(ValueError):
+    """Raised when a schema or a row does not satisfy the cube data model."""
+
+
+class Schema:
+    """Names and positions of the dimension and measure attributes.
+
+    Parameters
+    ----------
+    dimensions:
+        Ordered dimension attribute names (``A1..Ad`` in the paper).
+    measure:
+        Name of the numeric measure attribute ``B``.
+
+    Examples
+    --------
+    >>> schema = Schema(["name", "city", "year"], "sales")
+    >>> schema.num_dimensions
+    3
+    >>> schema.arity
+    4
+    """
+
+    __slots__ = ("dimensions", "measure")
+
+    def __init__(self, dimensions: Sequence[str], measure: str = "measure"):
+        dims = tuple(dimensions)
+        if not dims:
+            raise SchemaError("a cube schema needs at least one dimension")
+        if len(set(dims)) != len(dims):
+            raise SchemaError(f"duplicate dimension names: {dims}")
+        if measure in dims:
+            raise SchemaError(
+                f"measure attribute {measure!r} collides with a dimension"
+            )
+        self.dimensions: Tuple[str, ...] = dims
+        self.measure: str = measure
+
+    @property
+    def num_dimensions(self) -> int:
+        """``d``, the number of dimension attributes."""
+        return len(self.dimensions)
+
+    @property
+    def arity(self) -> int:
+        """Total number of attributes, ``d + 1``."""
+        return len(self.dimensions) + 1
+
+    def dimension_index(self, name: str) -> int:
+        """Position of dimension ``name`` within a row."""
+        try:
+            return self.dimensions.index(name)
+        except ValueError:
+            raise SchemaError(f"unknown dimension {name!r}") from None
+
+    def validate_row(self, row: Sequence) -> None:
+        """Raise :class:`SchemaError` unless ``row`` fits this schema."""
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"row {row!r} has {len(row)} fields, expected {self.arity}"
+            )
+        measure = row[-1]
+        if isinstance(measure, bool) or not isinstance(measure, (int, float)):
+            raise SchemaError(
+                f"measure value {measure!r} is not numeric in row {row!r}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self.dimensions == other.dimensions and self.measure == other.measure
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.dimensions, self.measure))
+
+    def __repr__(self) -> str:
+        dims = ", ".join(self.dimensions)
+        return f"Schema([{dims}], measure={self.measure!r})"

@@ -1,0 +1,29 @@
+"""Theoretical predicates: skewness monotonicity and traffic bounds."""
+
+from .bounds import (
+    TrafficPlan,
+    independent_traffic_bound,
+    monotonic_traffic_bound,
+    planned_traffic,
+    prop56_skew_probability_bound,
+    skewed_traffic_bound,
+    worst_case_traffic,
+)
+from .skewness import (
+    is_skewness_monotonic,
+    monotonicity_violations,
+    skewed_groups_by_cuboid,
+)
+
+__all__ = [
+    "TrafficPlan",
+    "independent_traffic_bound",
+    "monotonic_traffic_bound",
+    "planned_traffic",
+    "prop56_skew_probability_bound",
+    "skewed_traffic_bound",
+    "worst_case_traffic",
+    "is_skewness_monotonic",
+    "monotonicity_violations",
+    "skewed_groups_by_cuboid",
+]

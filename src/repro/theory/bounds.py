@@ -1,0 +1,89 @@
+"""Analytic traffic bounds of Section 5.2, as checkable predicates.
+
+The paper proves (counting shuffled *records*, each of size ``O(d)``):
+
+* Proposition 5.2 — skewed-group traffic is ``O(d n)`` records overall;
+* Theorem 5.3 — a worst-case relation forces ``Theta(2^d n)``;
+* Proposition 5.5 — skewness-monotonic relations stay within ``O(d^2 n)``;
+* Proposition 5.6 — independently-distributed attributes with the stated
+  skew-probability bound stay within ``O(d^3 n)``.
+
+:func:`planned_traffic` measures SP-Cube's *planned* record emissions for
+a relation under a given sketch — no engine run needed — so the theory
+bench can compare measured counts directly against the bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.planner import plan_tuple
+from ..core.sketch import SPSketch
+from ..relation.relation import Relation
+
+
+@dataclass(frozen=True)
+class TrafficPlan:
+    """Planned round-2 emissions for a relation under a sketch."""
+
+    #: Tuples emitted to range-partitioned reducers (one per emission).
+    emitted_tuples: int
+    #: Map-side partial-aggregation hits (skewed lattice nodes, summed
+    #: over tuples) — these do NOT cross the network individually.
+    skew_absorptions: int
+    #: Number of rows examined.
+    rows: int
+    num_dimensions: int
+
+    @property
+    def emissions_per_tuple(self) -> float:
+        return self.emitted_tuples / self.rows if self.rows else 0.0
+
+
+def planned_traffic(relation: Relation, sketch: SPSketch) -> TrafficPlan:
+    """Count SP-Cube's planned per-tuple emissions under ``sketch``."""
+    emitted = 0
+    absorbed = 0
+    for row in relation:
+        plan = plan_tuple(row, sketch)
+        emitted += plan.num_emitted
+        absorbed += len(plan.skewed_masks)
+    return TrafficPlan(
+        emitted_tuples=emitted,
+        skew_absorptions=absorbed,
+        rows=len(relation),
+        num_dimensions=relation.schema.num_dimensions,
+    )
+
+
+def skewed_traffic_bound(num_dimensions: int, num_rows: int) -> int:
+    """Prop 5.2 bound on skew-handling traffic: ``O(d n)`` records."""
+    return num_dimensions * num_rows
+
+
+def monotonic_traffic_bound(num_dimensions: int, num_rows: int) -> int:
+    """Prop 5.5 bound: ``O(d^2 n)`` total records for monotonic relations.
+
+    The proof shows at most ``O(d)`` emissions per tuple (each of size
+    ``O(d)``); we bound the *record* count by ``d * n`` and leave the
+    ``O(d)`` record width to the byte-level metrics.
+    """
+    return num_dimensions * num_rows
+
+
+def independent_traffic_bound(num_dimensions: int, num_rows: int) -> int:
+    """Prop 5.6 bound: expected ``O(d^2)`` emissions per tuple."""
+    return num_dimensions * num_dimensions * num_rows
+
+
+def worst_case_traffic(num_dimensions: int, num_rows: int) -> int:
+    """Thm 5.3: the adversarial relation forces ``Theta(2^d n)`` records."""
+    return (1 << num_dimensions) * num_rows
+
+
+def prop56_skew_probability_bound(num_dimensions: int, level: int) -> float:
+    """Prop 5.6's hypothesis: ``P(t in skewed group of an l-cuboid)`` must
+    not exceed ``d^(1/(l+1)) / d``."""
+    if level < 1:
+        raise ValueError("cuboid level must be >= 1")
+    return num_dimensions ** (1.0 / (level + 1)) / num_dimensions

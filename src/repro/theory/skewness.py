@@ -1,0 +1,84 @@
+"""Skewness structure of relations (Definitions 2.7 and 5.4).
+
+A c-group ``g`` is *skewed* when ``|set(g)| > m``.  Skewness is always
+monotone downward in the tuple lattice — dropping attributes only grows the
+tuple set — but the converse can fail: all of ``g``'s sub-groups may be
+skewed while ``g`` itself is not.  Relations where that never happens are
+**skewness-monotonic** (Definition 5.4), and Proposition 5.5 bounds
+SP-Cube's traffic on them by ``O(d^2 n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..relation.lattice import all_cuboids, mask_size
+from ..relation.relation import Relation
+
+
+def skewed_groups_by_cuboid(
+    relation: Relation, memory_records: int
+) -> Dict[int, Set[Tuple]]:
+    """``{mask: {group values}}`` of all truly skewed c-groups."""
+    skewed: Dict[int, Set[Tuple]] = {}
+    for mask in all_cuboids(relation.schema.num_dimensions):
+        heavy = {
+            values
+            for values, count in relation.group_sizes(mask).items()
+            if count > memory_records
+        }
+        skewed[mask] = heavy
+    return skewed
+
+
+def monotonicity_violations(
+    relation: Relation, memory_records: int
+) -> List[Tuple[int, Tuple]]:
+    """C-groups breaking Definition 5.4.
+
+    Returns every non-skewed group all of whose direct sub-groups (one
+    attribute dropped) are skewed.  An empty list means the relation is
+    skewness-monotonic.
+
+    Groups with a single attribute are exempt: their only sub-group is the
+    apex ``(*, ..., *)``, which is skewed for every ``n > m``.  Reading
+    Definition 5.4 without this exemption would make *no* relation
+    monotonic, contradicting the paper's own flagship example for
+    Proposition 5.5 ("no skews other than the most general c-group").
+    """
+    d = relation.schema.num_dimensions
+    skewed = skewed_groups_by_cuboid(relation, memory_records)
+    group_sizes = {
+        mask: relation.group_sizes(mask) for mask in all_cuboids(d)
+    }
+
+    violations: List[Tuple[int, Tuple]] = []
+    for mask in all_cuboids(d):
+        if mask_size(mask) <= 1:
+            continue
+        dims = [i for i in range(d) if mask >> i & 1]
+        for values in group_sizes[mask]:
+            if values in skewed[mask]:
+                continue
+            if _all_subgroups_skewed(mask, values, dims, skewed):
+                violations.append((mask, values))
+    return violations
+
+
+def is_skewness_monotonic(relation: Relation, memory_records: int) -> bool:
+    """True iff the relation satisfies Definition 5.4."""
+    return not monotonicity_violations(relation, memory_records)
+
+
+def _all_subgroups_skewed(
+    mask: int,
+    values: Tuple,
+    dims: List[int],
+    skewed: Dict[int, Set[Tuple]],
+) -> bool:
+    for position, dim in enumerate(dims):
+        child_mask = mask & ~(1 << dim)
+        child_values = values[:position] + values[position + 1 :]
+        if child_values not in skewed[child_mask]:
+            return False
+    return True

@@ -1,0 +1,43 @@
+"""Aggregate support policy (Section 7)."""
+
+import pytest
+
+from repro.aggregates import (
+    Average,
+    Count,
+    Median,
+    Sum,
+    TopKFrequent,
+    UnsupportedAggregateError,
+    check_spcube_support,
+    supports_partial_aggregation,
+)
+
+
+class TestSupportsPartialAggregation:
+    def test_distributive_supported(self):
+        assert supports_partial_aggregation(Count())
+        assert supports_partial_aggregation(Sum())
+
+    def test_algebraic_supported(self):
+        assert supports_partial_aggregation(Average())
+
+    def test_holistic_not_supported(self):
+        assert not supports_partial_aggregation(TopKFrequent())
+        assert not supports_partial_aggregation(Median())
+
+
+class TestCheckSPCubeSupport:
+    def test_passes_for_count(self):
+        check_spcube_support(Count())
+
+    def test_raises_for_holistic(self):
+        with pytest.raises(UnsupportedAggregateError, match="holistic"):
+            check_spcube_support(TopKFrequent())
+
+    def test_allow_holistic_opt_in(self):
+        check_spcube_support(TopKFrequent(), allow_holistic=True)
+
+    def test_error_names_the_aggregate(self):
+        with pytest.raises(UnsupportedAggregateError, match="median"):
+            check_spcube_support(Median())

@@ -1,0 +1,77 @@
+"""Property-based tests of the merge protocol.
+
+The correctness of every distributed algorithm in this repository rests on
+``merge`` being associative and commutative with ``create()`` as identity,
+and on "fold then merge" equaling "fold everything" — exactly what these
+hypothesis properties pin down, for every registered aggregate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import registered_aggregates
+
+AGGREGATES = sorted(registered_aggregates().values(), key=lambda f: f.name)
+measures = st.lists(st.integers(min_value=-100, max_value=100), max_size=30)
+
+
+def fold_state(fn, values):
+    state = fn.create()
+    for value in values:
+        state = fn.add(state, value)
+    return state
+
+
+@pytest.mark.parametrize("fn", AGGREGATES, ids=lambda f: f.name)
+class TestMergeProtocol:
+    @given(values=measures)
+    @settings(max_examples=40)
+    def test_identity(self, fn, values):
+        state = fold_state(fn, values)
+        assert fn.finalize(fn.merge(state, fn.create())) == fn.finalize(state)
+        assert fn.finalize(fn.merge(fn.create(), state)) == fn.finalize(state)
+
+    @given(left=measures, right=measures)
+    @settings(max_examples=40)
+    def test_commutative(self, fn, left, right):
+        a = fold_state(fn, left)
+        b = fold_state(fn, right)
+        assert fn.finalize(fn.merge(a, b)) == fn.finalize(fn.merge(b, a))
+
+    @given(a=measures, b=measures, c=measures)
+    @settings(max_examples=40)
+    def test_associative(self, fn, a, b, c):
+        sa, sb, sc = (fold_state(fn, v) for v in (a, b, c))
+        lhs = fn.merge(fn.merge(sa, sb), sc)
+        rhs = fn.merge(sa, fn.merge(sb, sc))
+        assert fn.finalize(lhs) == fn.finalize(rhs)
+
+    @given(values=measures, split=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40)
+    def test_partition_invariance(self, fn, values, split):
+        """Splitting the fold anywhere and merging matches a single fold —
+        the exact property map-side partial aggregation relies on."""
+        split = min(split, len(values))
+        merged = fn.merge(
+            fold_state(fn, values[:split]), fold_state(fn, values[split:])
+        )
+        expected = fn.finalize(fold_state(fn, values))
+        got = fn.finalize(merged)
+        if isinstance(expected, float) and isinstance(got, float):
+            assert got == pytest.approx(expected)
+        else:
+            assert got == expected
+
+    @given(values=measures)
+    @settings(max_examples=40)
+    def test_add_equals_merge_of_singleton(self, fn, values):
+        """fn.add(s, v) == fn.merge(s, singleton(v)) for all states."""
+        state = fold_state(fn, values)
+        singleton = fn.add(fn.create(), 7)
+        via_add = fn.finalize(fn.add(state, 7))
+        via_merge = fn.finalize(fn.merge(state, singleton))
+        if isinstance(via_add, float) and isinstance(via_merge, float):
+            assert via_merge == pytest.approx(via_add)
+        else:
+            assert via_merge == via_add

@@ -1,0 +1,163 @@
+"""Experiment harness: sweeps, metric accessors, report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    METRICS,
+    VerificationError,
+    available_metrics,
+    format_figure,
+    format_panel,
+    paper_cluster,
+    run_algorithms,
+    run_sweep,
+    speedup_summary,
+    subsample_sweep,
+)
+from repro.baselines import NaiveCube
+from repro.core import SPCube
+from repro.cubing import CubeResult
+from repro.interface import CubeRun
+from repro.mapreduce import ClusterConfig, RunMetrics
+from repro.relation import Relation, Schema
+
+from ..conftest import make_random_relation
+
+
+@pytest.fixture
+def cluster():
+    return ClusterConfig(num_machines=3)
+
+
+def tiny_workloads():
+    return [
+        (100.0, make_random_relation(100, seed=1)),
+        (200.0, make_random_relation(200, seed=2)),
+    ]
+
+
+FACTORIES = {
+    "SP-Cube": lambda c: SPCube(c),
+    "Naive": lambda c: NaiveCube(c),
+}
+
+
+class TestRunAlgorithms:
+    def test_returns_run_per_algorithm(self, cluster):
+        rel = make_random_relation(80, seed=3)
+        runs = run_algorithms(
+            rel, {name: f(cluster) for name, f in FACTORIES.items()}
+        )
+        assert set(runs) == {"SP-Cube", "Naive"}
+        assert runs["SP-Cube"].cube == runs["Naive"].cube
+
+    def test_verify_passes_when_equal(self, cluster):
+        rel = make_random_relation(80, seed=4)
+        run_algorithms(
+            rel,
+            {name: f(cluster) for name, f in FACTORIES.items()},
+            verify=True,
+        )
+
+    def test_verify_raises_on_disagreement(self, cluster):
+        rel = make_random_relation(50, seed=5)
+
+        class Broken:
+            name = "broken"
+
+            def compute(self, relation):
+                cube = CubeResult(relation.schema, {(0, ()): -1})
+                return CubeRun(cube=cube, metrics=RunMetrics("broken"))
+
+        with pytest.raises(VerificationError, match="disagrees"):
+            run_algorithms(
+                rel,
+                {"good": SPCube(cluster), "bad": Broken()},
+                verify=True,
+            )
+
+
+class TestRunSweep:
+    def test_sweep_structure(self, cluster):
+        sweep = run_sweep(
+            "demo", "n", tiny_workloads(), FACTORIES, cluster
+        )
+        assert sweep.algorithms == ["SP-Cube", "Naive"]
+        assert [p.x for p in sweep.points] == [100.0, 200.0]
+
+    def test_series_extraction(self, cluster):
+        sweep = run_sweep("demo", "n", tiny_workloads(), FACTORIES, cluster)
+        curves = sweep.series("total_seconds")
+        assert set(curves) == {"SP-Cube", "Naive"}
+        for curve in curves.values():
+            assert [x for x, _y in curve] == [100.0, 200.0]
+            assert all(y > 0 for _x, y in curve)
+
+    def test_unknown_metric(self, cluster):
+        sweep = run_sweep("demo", "n", tiny_workloads(), FACTORIES, cluster)
+        with pytest.raises(KeyError):
+            sweep.series("bogus_metric")
+
+
+class TestMetricAccessors:
+    def test_all_metrics_evaluate(self, cluster):
+        rel = make_random_relation(60, seed=6)
+        run = SPCube(cluster).compute(rel)
+        for name, accessor in METRICS.items():
+            value = accessor(run.metrics)
+            assert isinstance(value, (int, float)), name
+
+    def test_available_metrics_sorted(self):
+        names = available_metrics()
+        assert names == sorted(names)
+        assert "total_seconds" in names
+
+
+class TestReports:
+    @pytest.fixture
+    def sweep(self, cluster):
+        return run_sweep("Figure X", "n", tiny_workloads(), FACTORIES, cluster)
+
+    def test_panel_contains_curves_and_axis(self, sweep):
+        text = format_panel(sweep, "total_seconds", "running time", "sec")
+        assert "running time" in text
+        assert "SP-Cube" in text and "Naive" in text
+        assert "100" in text and "200" in text
+
+    def test_figure_stacks_panels(self, sweep):
+        text = format_figure(
+            sweep,
+            [
+                ("total_seconds", "time", "sec"),
+                ("map_output_mb", "traffic", "MB"),
+            ],
+        )
+        assert "Figure X" in text
+        assert "time" in text and "traffic" in text
+
+    def test_failed_runs_render_as_fail(self, sweep):
+        # Force a failure flag and check rendering.
+        sweep.points[0].runs["Naive"].jobs[0].forced_failure = True
+        text = format_panel(sweep, "total_seconds", "t", "s")
+        assert "FAIL(OOM)" in text
+
+    def test_speedup_summary(self, sweep):
+        summary = speedup_summary(sweep, ["Naive"], "SP-Cube")
+        assert set(summary) == {"Naive"}
+        assert summary["Naive"] > 0
+
+
+class TestHelpers:
+    def test_paper_cluster_memory_calibration(self):
+        cluster = paper_cluster(80_000)
+        assert cluster.num_machines == 20
+        assert cluster.memory_records == 80_000 // 80
+
+    def test_paper_cluster_floor(self):
+        assert paper_cluster(10).memory_records == 16
+
+    def test_subsample_sweep(self):
+        rel = make_random_relation(300, seed=7)
+        points = subsample_sweep(rel, [50, 100], seed=1)
+        assert [x for x, _r in points] == [50.0, 100.0]
+        assert [len(r) for _x, r in points] == [50, 100]

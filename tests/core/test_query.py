@@ -1,0 +1,141 @@
+"""The OLAP query layer over materialized cubes."""
+
+import pytest
+
+from repro.aggregates import Sum
+from repro.cubing import sequential_cube
+from repro.query import CubeView, QueryError
+
+
+@pytest.fixture
+def view(retail_relation):
+    return CubeView(sequential_cube(retail_relation))
+
+
+@pytest.fixture
+def sum_view(retail_relation):
+    return CubeView(sequential_cube(retail_relation, Sum()))
+
+
+class TestRollup:
+    def test_single_dimension(self, view):
+        groups = view.rollup("name")
+        assert groups[("laptop",)] == 3
+        assert groups[("keyboard",)] == 3
+
+    def test_two_dimensions(self, view):
+        groups = view.rollup("name", "year")
+        assert groups[("laptop", 2012)] == 2
+        assert groups[("keyboard", 2009)] == 2
+
+    def test_out_of_schema_order(self, view):
+        """Caller order is honoured: (year, name) vs (name, year)."""
+        reordered = view.rollup("year", "name")
+        assert reordered[(2012, "laptop")] == 2
+
+    def test_empty_rollup_is_total(self, view):
+        assert view.rollup() == {(): 10}
+
+    def test_total(self, view):
+        assert view.total() == 10
+
+    def test_unknown_dimension(self, view):
+        with pytest.raises(QueryError, match="unknown dimension"):
+            view.rollup("bogus")
+
+    def test_duplicate_dimension(self, view):
+        with pytest.raises(QueryError, match="twice"):
+            view.rollup("name", "name")
+
+
+class TestSlice:
+    def test_fix_one_dimension(self, view):
+        rome = view.slice(city="Rome")
+        assert rome[("laptop", 2012)] == 1
+        assert rome[("keyboard", 2009)] == 2
+        assert ("keyboard", 2010) not in rome
+
+    def test_fix_two_dimensions(self, view):
+        groups = view.slice(name="laptop", city="Rome")
+        assert groups == {(2012,): 1, (2015,): 1}
+
+    def test_fix_everything(self, view):
+        assert view.slice(name="laptop", city="Rome", year=2012) == {(): 1}
+
+    def test_no_match(self, view):
+        assert view.slice(city="Tokyo") == {}
+
+
+class TestDice:
+    def test_predicate_filter(self, view):
+        recent = view.dice(year=lambda y: y >= 2012)
+        assert all(values[2] >= 2012 for values in recent)
+        assert ("keyboard", "Rome", 2009) not in recent
+
+    def test_multiple_predicates(self, view):
+        groups = view.dice(
+            year=lambda y: y == 2012, city=lambda c: c == "Rome"
+        )
+        assert set(groups) == {
+            ("laptop", "Rome", 2012),
+            ("printer", "Rome", 2012),
+            ("television", "Rome", 2012),
+        }
+
+
+class TestDrilldown:
+    def test_refine_by_one_dimension(self, view):
+        cities = view.drilldown({"name": "laptop"}, into="city")
+        assert cities == {"Rome": 2, "Paris": 1}
+
+    def test_drill_from_two_fixed(self, view):
+        years = view.drilldown(
+            {"name": "keyboard", "city": "Rome"}, into="year"
+        )
+        assert years == {2009: 2}
+
+    def test_cannot_drill_into_fixed(self, view):
+        with pytest.raises(QueryError, match="fixed dimension"):
+            view.drilldown({"name": "laptop"}, into="name")
+
+
+class TestTopAndPivot:
+    def test_top_by_count(self, view):
+        top = view.top(["name"], k=2)
+        names = {values[0] for values, _count in top}
+        assert names <= {"laptop", "keyboard"}
+        assert len(top) == 2
+
+    def test_top_with_sum(self, sum_view):
+        top = sum_view.top(["name"], k=1)
+        assert top[0][0] == ("laptop",)  # 4400 total sales
+
+    def test_top_invalid_k(self, view):
+        with pytest.raises(QueryError):
+            view.top(["name"], k=0)
+
+    def test_pivot(self, view):
+        table = view.pivot("name", "year")
+        assert table["laptop"] == {2012: 2, 2015: 1}
+        assert table["keyboard"][2009] == 2
+
+    def test_cuboid_sizes_named(self, view):
+        sizes = view.cuboid_sizes()
+        assert sizes[()] == 1
+        assert sizes[("name",)] == 4
+        assert len(sizes) == 8
+
+
+class TestDistributedCubeQueries:
+    def test_view_over_spcube_output(self, retail_relation):
+        """Queries work identically over a distributed engine's cube."""
+        from repro.core import SPCube
+        from repro.mapreduce import ClusterConfig
+
+        run = SPCube(ClusterConfig(num_machines=3)).compute(retail_relation)
+        view = CubeView(run.cube)
+        assert view.total() == 10
+        assert view.drilldown({"name": "laptop"}, into="city") == {
+            "Rome": 2,
+            "Paris": 1,
+        }

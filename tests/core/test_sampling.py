@@ -1,0 +1,63 @@
+"""Sampling parameters of Algorithm 2."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    expected_sample_size,
+    sampling_probability,
+    skew_sample_threshold,
+)
+
+
+class TestAlpha:
+    def test_formula(self):
+        n, k, m = 100_000, 20, 5_000
+        assert sampling_probability(n, k, m) == pytest.approx(
+            math.log(n * k) / m
+        )
+
+    def test_clamped_to_one_for_tiny_inputs(self):
+        assert sampling_probability(10, 2, 1) == 1.0
+
+    def test_zero_rows(self):
+        assert sampling_probability(0, 20, 100) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sampling_probability(10, 0, 5)
+        with pytest.raises(ValueError):
+            sampling_probability(10, 2, 0)
+
+
+class TestBeta:
+    def test_formula(self):
+        assert skew_sample_threshold(1000, 10) == pytest.approx(
+            math.log(10_000)
+        )
+
+    def test_zero_rows(self):
+        assert skew_sample_threshold(0, 20) == 0.0
+
+    def test_invalid_machines(self):
+        with pytest.raises(ValueError):
+            skew_sample_threshold(10, 0)
+
+    def test_alpha_times_m_equals_beta(self):
+        """A group at the skew threshold has expected sample count beta."""
+        n, k = 200_000, 20
+        m = n // k
+        alpha = sampling_probability(n, k, m)
+        beta = skew_sample_threshold(n, k)
+        assert alpha * m == pytest.approx(beta)
+
+
+class TestExpectedSampleSize:
+    def test_order_of_m(self):
+        """Prop 4.4: expected sample size is O(m) — concretely k*ln(nk)."""
+        n, k = 1_000_000, 20
+        m = n // k
+        expected = expected_sample_size(n, k, m)
+        assert expected == pytest.approx(k * math.log(n * k))
+        assert expected < m

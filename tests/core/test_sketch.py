@@ -1,0 +1,154 @@
+"""The SP-Sketch: exact and sampled builders, invariants, size."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    SketchError,
+    build_exact_sketch,
+    build_sketch_from_sample,
+    sampling_probability,
+    skew_sample_threshold,
+)
+from repro.core.sketch import CuboidSketch, SPSketch
+from repro.relation import all_cuboids
+
+from ..conftest import make_random_relation
+
+
+def skewed_relation(n=400, skew_fraction=0.5, seed=0):
+    return make_random_relation(
+        n,
+        num_dimensions=3,
+        cardinality=50,
+        seed=seed,
+        skew_fraction=skew_fraction,
+    )
+
+
+class TestExactSketch:
+    def test_detects_exactly_the_true_skews(self):
+        rel = skewed_relation()
+        m = 40
+        sketch = build_exact_sketch(rel, num_partitions=4, memory_records=m)
+        for mask in all_cuboids(3):
+            truth = {
+                values
+                for values, count in rel.group_sizes(mask).items()
+                if count > m
+            }
+            assert set(sketch.cuboids[mask].skewed) == truth
+
+    def test_apex_always_skewed_when_n_exceeds_m(self):
+        rel = skewed_relation(n=100, skew_fraction=0.0)
+        sketch = build_exact_sketch(rel, 4, 25)
+        assert sketch.is_skewed(0, ())
+
+    def test_partition_elements_per_cuboid(self):
+        rel = skewed_relation()
+        k = 5
+        sketch = build_exact_sketch(rel, k, 40)
+        for mask in all_cuboids(3):
+            assert len(sketch.cuboids[mask].partition_elements) == k - 1
+
+    def test_monotonicity_holds(self):
+        sketch = build_exact_sketch(skewed_relation(), 4, 30)
+        sketch.validate_monotonic()  # must not raise
+
+
+class TestSampledSketch:
+    def test_detects_heavy_skews(self):
+        """A group holding half the rows must be caught (Prop 4.5)."""
+        n, k = 2000, 5
+        m = n // k
+        rel = skewed_relation(n=n, skew_fraction=0.5, seed=7)
+        alpha = sampling_probability(n, k, m)
+        beta = skew_sample_threshold(n, k)
+        sample = rel.sample(alpha, random.Random(3))
+        sketch = build_sketch_from_sample(sample, 3, k, beta)
+        # The planted identical rows make (1,1,1) and all its projections
+        # giant (50% of n >> m); every one must be flagged.
+        assert sketch.is_skewed(0b111, (1, 1, 1))
+        assert sketch.is_skewed(0b001, (1,))
+        assert sketch.is_skewed(0, ())
+
+    def test_sample_size_order_m(self):
+        """Prop 4.4: the sample is O(m) w.h.p."""
+        n, k = 5000, 10
+        m = n // k
+        rel = skewed_relation(n=n, seed=9)
+        alpha = sampling_probability(n, k, m)
+        sample = rel.sample(alpha, random.Random(4))
+        assert len(sample) < 2 * m
+
+    def test_empty_sample_gives_blank_sketch(self):
+        sketch = build_sketch_from_sample([], 3, 4, beta=5.0)
+        assert sketch.num_skewed == 0
+        assert sketch.partition_of(0b111, (1, 2, 3)) == 0
+
+    def test_monotonicity_holds_for_any_sample(self):
+        rel = skewed_relation(seed=11)
+        sample = rel.sample(0.5, random.Random(5))
+        sketch = build_sketch_from_sample(sample, 3, 4, beta=3.0)
+        sketch.validate_monotonic()
+
+
+class TestSketchQueries:
+    @pytest.fixture
+    def sketch(self):
+        rel = skewed_relation()
+        return build_exact_sketch(rel, 4, 40)
+
+    def test_partition_of_uses_elements(self, sketch):
+        mask = 0b001
+        elements = sketch.cuboids[mask].partition_elements
+        if elements:
+            below = (min(elements)[0] - 1,)
+            assert sketch.partition_of(mask, below) == 0
+
+    def test_skew_bits_consistency(self, sketch):
+        rel = skewed_relation()
+        for row in rel.rows[:50]:
+            bits = sketch.skew_bits(row)
+            for mask in all_cuboids(3):
+                projected = rel.project_group(row, mask)
+                assert bool(bits >> mask & 1) == sketch.is_skewed(
+                    mask, projected
+                )
+
+    def test_skewed_groups_iteration_sorted(self, sketch):
+        listed = list(sketch.skewed_groups())
+        assert listed == sorted(listed, key=lambda item: (item[0], item[1]))
+        assert len(listed) == sketch.num_skewed
+
+    def test_payload_roundtrip_shape(self, sketch):
+        payload = sketch.to_payload()
+        assert len(payload) == 8  # one entry per cuboid
+        for mask, skews, elements in payload:
+            assert isinstance(mask, int)
+            assert isinstance(skews, tuple)
+            assert isinstance(elements, tuple)
+
+    def test_serialized_bytes_positive_and_small(self, sketch):
+        size = sketch.serialized_bytes()
+        assert 0 < size < 100_000
+
+    def test_repr(self, sketch):
+        assert "SPSketch" in repr(sketch)
+
+
+class TestMonotonicityValidation:
+    def test_violation_detected(self):
+        cuboids = {
+            0b11: CuboidSketch(skewed={(1, 2): 100}),
+            # (1,) deliberately missing from 0b01's skews.
+        }
+        sketch = SPSketch(2, 2, cuboids)
+        with pytest.raises(SketchError, match="monotonicity"):
+            sketch.validate_monotonic()
+
+    def test_missing_cuboids_filled_with_blanks(self):
+        sketch = SPSketch(2, 2, {})
+        assert len(sketch.cuboids) == 4
+        assert sketch.num_skewed == 0

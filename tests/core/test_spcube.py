@@ -1,0 +1,201 @@
+"""SP-Cube end-to-end: correctness, knobs, metrics."""
+
+import pytest
+
+from repro.aggregates import (
+    Average,
+    Count,
+    Max,
+    Min,
+    Sum,
+    TopKFrequent,
+    UnsupportedAggregateError,
+    Variance,
+)
+from repro.core import SKETCH_PATH, SPCube
+from repro.cubing import sequential_cube
+from repro.mapreduce import ClusterConfig, DistributedFileSystem
+
+from ..conftest import make_random_relation
+
+
+@pytest.fixture
+def cluster():
+    return ClusterConfig(num_machines=5)
+
+
+@pytest.fixture
+def skewed_relation():
+    return make_random_relation(
+        1500, num_dimensions=3, cardinality=40, seed=13, skew_fraction=0.3
+    )
+
+
+AGGREGATES = [Count(), Sum(), Min(), Max(), Average(), Variance()]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fn", AGGREGATES, ids=lambda f: f.name)
+    def test_matches_oracle_sampled_sketch(self, cluster, skewed_relation, fn):
+        run = SPCube(cluster, fn).compute(skewed_relation)
+        assert run.cube == sequential_cube(skewed_relation, fn)
+
+    @pytest.mark.parametrize("fn", [Count(), Average()], ids=lambda f: f.name)
+    def test_matches_oracle_exact_sketch(self, cluster, skewed_relation, fn):
+        run = SPCube(cluster, fn, use_exact_sketch=True).compute(
+            skewed_relation
+        )
+        assert run.cube == sequential_cube(skewed_relation, fn)
+
+    def test_no_skew_data(self, cluster):
+        rel = make_random_relation(800, cardinality=500, seed=3)
+        run = SPCube(cluster).compute(rel)
+        assert run.cube == sequential_cube(rel)
+
+    def test_all_rows_identical(self, cluster):
+        rel = make_random_relation(400, seed=5, skew_fraction=1.0)
+        run = SPCube(cluster).compute(rel)
+        assert run.cube == sequential_cube(rel)
+        # The whole lattice of the single pattern is skew-absorbed.
+        assert run.cube.num_groups == 8
+
+    def test_tiny_relation(self, cluster):
+        rel = make_random_relation(5, seed=6)
+        run = SPCube(cluster).compute(rel)
+        assert run.cube == sequential_cube(rel)
+
+    def test_single_machine(self):
+        rel = make_random_relation(200, seed=7, skew_fraction=0.2)
+        run = SPCube(ClusterConfig(num_machines=1)).compute(rel)
+        assert run.cube == sequential_cube(rel)
+
+
+class TestAblations:
+    def test_no_map_partial_aggregation_still_correct(
+        self, cluster, skewed_relation
+    ):
+        run = SPCube(
+            cluster, map_partial_aggregation=False
+        ).compute(skewed_relation)
+        assert run.cube == sequential_cube(skewed_relation)
+
+    def test_no_ancestor_covering_still_correct(
+        self, cluster, skewed_relation
+    ):
+        run = SPCube(cluster, ancestor_covering=False).compute(
+            skewed_relation
+        )
+        assert run.cube == sequential_cube(skewed_relation)
+
+    def test_hash_partitioning_still_correct(self, cluster, skewed_relation):
+        run = SPCube(cluster, range_partitioning=False).compute(
+            skewed_relation
+        )
+        assert run.cube == sequential_cube(skewed_relation)
+
+    def test_covering_reduces_traffic(self, cluster, skewed_relation):
+        covered = SPCube(cluster).compute(skewed_relation)
+        uncovered = SPCube(cluster, ancestor_covering=False).compute(
+            skewed_relation
+        )
+        assert (
+            covered.metrics.intermediate_records
+            < uncovered.metrics.intermediate_records
+        )
+
+
+class TestAggregatePolicy:
+    def test_holistic_rejected_by_default(self, cluster):
+        with pytest.raises(UnsupportedAggregateError):
+            SPCube(cluster, TopKFrequent())
+
+    def test_holistic_allowed_explicitly(self, cluster):
+        rel = make_random_relation(300, seed=8, skew_fraction=0.3)
+        fn = TopKFrequent(2)
+        run = SPCube(cluster, fn, allow_holistic=True).compute(rel)
+        assert run.cube == sequential_cube(rel, fn)
+
+
+class TestRoundsAndMetrics:
+    def test_two_rounds(self, cluster, skewed_relation):
+        run = SPCube(cluster).compute(skewed_relation)
+        assert [job.name for job in run.metrics.jobs] == [
+            "sp-sketch",
+            "sp-cube",
+        ]
+
+    def test_exact_sketch_skips_round_one(self, cluster, skewed_relation):
+        run = SPCube(cluster, use_exact_sketch=True).compute(skewed_relation)
+        assert [job.name for job in run.metrics.jobs] == ["sp-cube"]
+        assert run.metrics.extras["sketch_mode"] == "exact"
+
+    def test_extras_recorded(self, cluster, skewed_relation):
+        run = SPCube(cluster).compute(skewed_relation)
+        extras = run.metrics.extras
+        assert extras["sketch_bytes"] > 0
+        assert extras["sample_size"] >= 0
+        assert 0 < extras["alpha"] <= 1
+        assert extras["beta"] > 0
+        assert "num_skewed_groups" in extras
+
+    def test_sketch_returned(self, cluster, skewed_relation):
+        run = SPCube(cluster).compute(skewed_relation)
+        assert run.sketch is not None
+        assert run.sketch.num_dimensions == 3
+
+    def test_output_groups_counted(self, cluster, skewed_relation):
+        run = SPCube(cluster).compute(skewed_relation)
+        assert run.metrics.output_groups == run.cube.num_groups
+
+    def test_sketch_size_much_smaller_than_input(self, cluster):
+        rel = make_random_relation(2000, seed=9, skew_fraction=0.2)
+        run = SPCube(cluster).compute(rel)
+        from repro.mapreduce import relation_bytes
+
+        _count, input_bytes = relation_bytes(rel.rows)
+        assert run.metrics.extras["sketch_bytes"] < input_bytes / 20
+
+    def test_skew_reducer_never_overloaded(self, cluster, skewed_relation):
+        """Reducer 0 receives only partial states: at most k per group."""
+        run = SPCube(cluster).compute(skewed_relation)
+        cube_round = run.metrics.jobs[-1]
+        skew_task = cube_round.reduce_tasks[0]
+        assert skew_task.peak_group_records <= cluster.num_machines
+
+
+class TestDFSIntegration:
+    def test_sketch_published(self, cluster, skewed_relation):
+        dfs = DistributedFileSystem()
+        SPCube(cluster, dfs=dfs).compute(skewed_relation)
+        assert dfs.exists(SKETCH_PATH)
+
+    def test_cube_written_per_cuboid(self, cluster, skewed_relation):
+        dfs = DistributedFileSystem()
+        run = SPCube(cluster, dfs=dfs).compute(skewed_relation)
+        cuboid_files = [
+            path for path in dfs.list_files() if path.startswith("spcube/cube/")
+        ]
+        assert len(cuboid_files) == 8
+        total = sum(len(dfs.read(path)) for path in cuboid_files)
+        assert total == run.cube.num_groups
+
+
+class TestDeterminism:
+    def test_same_seed_same_metrics(self, skewed_relation):
+        cluster = ClusterConfig(num_machines=5, seed=42)
+        run1 = SPCube(cluster).compute(skewed_relation)
+        run2 = SPCube(cluster).compute(skewed_relation)
+        assert run1.cube == run2.cube
+        assert (
+            run1.metrics.intermediate_bytes
+            == run2.metrics.intermediate_bytes
+        )
+
+    def test_different_seed_same_cube(self, skewed_relation):
+        run1 = SPCube(ClusterConfig(num_machines=5, seed=1)).compute(
+            skewed_relation
+        )
+        run2 = SPCube(ClusterConfig(num_machines=5, seed=2)).compute(
+            skewed_relation
+        )
+        assert run1.cube == run2.cube

@@ -1,0 +1,101 @@
+"""CubeResult container."""
+
+import pytest
+
+from repro.cubing import CubeResult
+from repro.relation import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(["a", "b"], "m")
+
+
+class TestAddAndAccess:
+    def test_add_and_value(self, schema):
+        cube = CubeResult(schema)
+        cube.add(0b01, ("x",), 5)
+        assert cube.value(0b01, ("x",)) == 5
+
+    def test_duplicate_same_value_ok(self, schema):
+        cube = CubeResult(schema)
+        cube.add(0, (), 1)
+        cube.add(0, (), 1)
+        assert len(cube) == 1
+
+    def test_conflicting_value_raises(self, schema):
+        cube = CubeResult(schema)
+        cube.add(0, (), 1)
+        with pytest.raises(ValueError, match="conflicting"):
+            cube.add(0, (), 2)
+
+    def test_get_with_default(self, schema):
+        cube = CubeResult(schema)
+        assert cube.get(0, (), "missing") == "missing"
+
+    def test_contains(self, schema):
+        cube = CubeResult(schema)
+        cube.add(0b10, ("y",), 3)
+        assert (0b10, ("y",)) in cube
+        assert (0b01, ("y",)) not in cube
+
+
+class TestViews:
+    def test_cuboid_extraction(self, schema):
+        cube = CubeResult(schema)
+        cube.add(0b01, ("x",), 1)
+        cube.add(0b01, ("y",), 2)
+        cube.add(0b10, ("z",), 3)
+        assert cube.cuboid(0b01) == {("x",): 1, ("y",): 2}
+
+    def test_groups_per_cuboid_counts_all_masks(self, schema):
+        cube = CubeResult(schema)
+        cube.add(0, (), 9)
+        counts = cube.groups_per_cuboid()
+        assert counts[0] == 1
+        assert counts[0b11] == 0
+        assert len(counts) == 4
+
+    def test_to_rows_deterministic_order(self, schema):
+        cube = CubeResult(schema)
+        cube.add(0b11, ("x", "y"), 1)
+        cube.add(0, (), 2)
+        cube.add(0b01, ("a",), 3)
+        rows = cube.to_rows()
+        assert [row[0] for row in rows] == [0, 0b01, 0b11]
+
+
+class TestComparison:
+    def test_equality(self, schema):
+        a = CubeResult(schema, {(0, ()): 5})
+        b = CubeResult(schema, {(0, ()): 5})
+        assert a == b
+
+    def test_inequality(self, schema):
+        a = CubeResult(schema, {(0, ()): 5})
+        b = CubeResult(schema, {(0, ()): 6})
+        assert a != b
+
+    def test_not_comparable_to_dict(self, schema):
+        assert CubeResult(schema) != {}
+
+    def test_unhashable(self, schema):
+        with pytest.raises(TypeError):
+            hash(CubeResult(schema))
+
+    def test_diff_reports_all_kinds(self, schema):
+        a = CubeResult(schema, {(0, ()): 1, (0b01, ("x",)): 2})
+        b = CubeResult(schema, {(0, ()): 9, (0b10, ("y",)): 3})
+        problems = "\n".join(a.diff(b))
+        assert "mismatch" in problems
+        assert "missing in other" in problems
+        assert "extra in other" in problems
+
+    def test_diff_respects_limit(self, schema):
+        a = CubeResult(schema, {(0b01, (i,)): i for i in range(50)})
+        b = CubeResult(schema)
+        assert len(a.diff(b, limit=5)) == 5
+
+    def test_repr(self, schema):
+        cube = CubeResult(schema, {(0, ()): 1})
+        assert "1 groups" in repr(cube)

@@ -1,0 +1,192 @@
+"""Workload generators: published statistics and determinism."""
+
+import pytest
+
+from repro.datagen import (
+    NUM_SKEW_VALUES,
+    USAGOV_CUBE_DIMENSIONS,
+    ZipfSampler,
+    adversarial_relation,
+    gen_binomial,
+    gen_zipf,
+    project_to_dimensions,
+    usagov_clicks,
+    wikipedia_traffic,
+)
+from repro.relation import full_mask
+
+import random
+
+
+class TestGenBinomial:
+    def test_size_and_schema(self):
+        rel = gen_binomial(500, 0.3, num_dimensions=4, seed=1)
+        assert len(rel) == 500
+        assert rel.schema.num_dimensions == 4
+
+    def test_deterministic_per_seed(self):
+        assert gen_binomial(100, 0.5, seed=7).rows == gen_binomial(
+            100, 0.5, seed=7
+        ).rows
+
+    def test_different_seeds_differ(self):
+        assert gen_binomial(100, 0.5, seed=1).rows != gen_binomial(
+            100, 0.5, seed=2
+        ).rows
+
+    def test_skew_tuples_have_identical_attributes(self):
+        rel = gen_binomial(2000, 1.0, seed=3)
+        for row in rel:
+            dims = row[:-1]
+            assert len(set(dims)) == 1
+            assert 1 <= dims[0] <= NUM_SKEW_VALUES
+
+    def test_zero_probability_uniform(self):
+        rel = gen_binomial(500, 0.0, seed=4)
+        # Uniform 32-bit draws essentially never produce identical rows.
+        sizes = rel.group_sizes(full_mask(4))
+        assert max(sizes.values()) == 1
+
+    def test_skew_fraction_approximately_p(self):
+        rel = gen_binomial(5000, 0.4, seed=5)
+        skew_rows = sum(1 for row in rel if len(set(row[:-1])) == 1)
+        assert 0.35 < skew_rows / 5000 < 0.45
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            gen_binomial(10, 1.5)
+
+
+class TestGenZipf:
+    def test_paper_defaults(self):
+        rel = gen_zipf(300, seed=1)
+        assert rel.schema.dimensions == ("z1", "z2", "u1", "u2")
+
+    def test_values_in_range(self):
+        rel = gen_zipf(500, num_values=100, seed=2)
+        for row in rel:
+            assert all(1 <= v <= 100 for v in row[:-1])
+
+    def test_zipf_dimension_is_skewed_uniform_is_not(self):
+        rel = gen_zipf(5000, seed=3)
+        zipf_sizes = rel.group_sizes(0b0001)
+        uniform_sizes = rel.group_sizes(0b0100)
+        assert max(zipf_sizes.values()) > 3 * max(uniform_sizes.values())
+
+    def test_deterministic(self):
+        assert gen_zipf(200, seed=9).rows == gen_zipf(200, seed=9).rows
+
+    def test_dimension_counts_configurable(self):
+        rel = gen_zipf(
+            50, num_zipf_dimensions=1, num_uniform_dimensions=3, seed=4
+        )
+        assert rel.schema.dimensions == ("z1", "u1", "u2", "u3")
+
+    def test_no_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            gen_zipf(10, num_zipf_dimensions=0, num_uniform_dimensions=0)
+
+
+class TestZipfSampler:
+    def test_rank_one_most_frequent(self):
+        rng = random.Random(0)
+        sampler = ZipfSampler(100, 1.1, rng)
+        counts = {}
+        for _ in range(5000):
+            r = sampler.sample()
+            counts[r] = counts.get(r, 0) + 1
+        assert max(counts, key=counts.get) == 1
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50, 1.1, random.Random(0))
+        assert sum(sampler.probabilities()) == pytest.approx(1.0)
+
+    def test_probabilities_decreasing(self):
+        probs = ZipfSampler(20, 1.5, random.Random(0)).probabilities()
+        assert probs == sorted(probs, reverse=True)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.1, random.Random(0))
+        with pytest.raises(ValueError):
+            ZipfSampler(10, 0.0, random.Random(0))
+
+
+class TestWeblogs:
+    def test_wikipedia_shape(self):
+        rel = wikipedia_traffic(400, seed=1)
+        assert len(rel) == 400
+        assert rel.schema.dimensions == ("project", "page", "hour", "agent")
+
+    def test_wikipedia_skew_profile(self):
+        """Heavy c-groups of 5-30%ish frequency exist; pages are sparse."""
+        rel = wikipedia_traffic(5000, seed=2)
+        project_sizes = rel.group_sizes(0b0001)
+        top = max(project_sizes.values()) / len(rel)
+        assert 0.2 < top < 0.45  # "en" dominates but is capped
+        page_sizes = rel.group_sizes(0b0010)
+        assert len(page_sizes) > 500  # heavy-tail page universe
+
+    def test_usagov_fifteen_dimensions(self):
+        rel = usagov_clicks(200, seed=1)
+        assert rel.schema.num_dimensions == 15
+
+    def test_usagov_cube_projection(self):
+        rel = usagov_clicks(300, seed=2)
+        projected = project_to_dimensions(rel, USAGOV_CUBE_DIMENSIONS)
+        assert projected.schema.dimensions == USAGOV_CUBE_DIMENSIONS
+        assert len(projected) == 300
+        index = rel.schema.dimension_index("country")
+        assert projected[0][0] == rel[0][index]
+
+    def test_project_to_arbitrary_dimensions(self):
+        rel = usagov_clicks(100, seed=3)
+        projected = project_to_dimensions(rel, ["os", "hour"])
+        assert projected.schema.dimensions == ("os", "hour")
+
+    def test_generators_deterministic(self):
+        assert wikipedia_traffic(100, seed=5).rows == wikipedia_traffic(
+            100, seed=5
+        ).rows
+        assert usagov_clicks(100, seed=5).rows == usagov_clicks(
+            100, seed=5
+        ).rows
+
+
+class TestAdversarial:
+    def test_binary_attributes(self):
+        rel = adversarial_relation(4, 200, seed=1)
+        assert len(rel) == 200
+        for row in rel:
+            assert set(row[:-1]) <= {0, 1}
+
+    def test_memory_places_boundary_at_half_level(self):
+        """Level <= d/2 groups exceed m; level d/2 + 1 groups do not."""
+        from repro.datagen import adversarial_memory
+
+        d, n = 4, 4000
+        rel = adversarial_relation(d, n, seed=2)
+        m = adversarial_memory(d, n)
+        # Level d/2 = 2: expected group size n/4 > m.
+        assert all(size > m for size in rel.group_sizes(0b0011).values())
+        # Level d/2 + 1 = 3: expected n/8 < m.
+        assert all(size <= m for size in rel.group_sizes(0b0111).values())
+
+    def test_expected_emissions_formula(self):
+        from repro.datagen import expected_emissions_per_tuple
+
+        assert expected_emissions_per_tuple(4) == 4  # C(4, 3)
+        assert expected_emissions_per_tuple(6) == 15  # C(6, 4)
+
+    def test_deterministic(self):
+        assert adversarial_relation(4, 50, seed=3).rows == adversarial_relation(
+            4, 50, seed=3
+        ).rows
+
+    def test_odd_d_rejected(self):
+        with pytest.raises(ValueError):
+            adversarial_relation(3, 5)
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            adversarial_relation(4, 0)

@@ -1,0 +1,94 @@
+"""The command-line interface, exercised in-process."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_generate_binomial(self, tmp_path, capsys):
+        out = str(tmp_path / "data.tsv")
+        code = main(
+            ["generate", "binomial", "--rows", "300", "--skew", "0.5",
+             "-o", out]
+        )
+        assert code == 0
+        assert "wrote 300 rows" in capsys.readouterr().out
+        assert len(open(out).readlines()) == 301  # header + rows
+
+    @pytest.mark.parametrize("dataset", ["zipf", "wikipedia", "usagov"])
+    def test_generate_other_datasets(self, tmp_path, dataset):
+        out = str(tmp_path / "data.tsv")
+        assert main(
+            ["generate", dataset, "--rows", "100", "-o", out]
+        ) == 0
+
+
+class TestCube:
+    def test_cube_with_output(self, tmp_path, capsys):
+        data = str(tmp_path / "data.tsv")
+        cube = str(tmp_path / "cube.tsv")
+        main(["generate", "binomial", "--rows", "400", "-o", data])
+        code = main(
+            ["cube", data, "--engine", "spcube", "--machines", "4",
+             "-o", cube]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SP-Cube" in out
+        assert "c-groups" in out
+        assert open(cube).read().count("\n") > 100
+
+    def test_cube_each_engine(self, tmp_path):
+        data = str(tmp_path / "data.tsv")
+        main(["generate", "binomial", "--rows", "200", "-o", data])
+        for engine in ("naive", "mrcube", "hive", "pipesort"):
+            assert main(
+                ["cube", data, "--engine", engine, "--machines", "3"]
+            ) == 0
+
+    def test_cube_with_sum_aggregate(self, tmp_path, capsys):
+        data = str(tmp_path / "data.tsv")
+        main(["generate", "zipf", "--rows", "200", "-o", data])
+        assert main(["cube", data, "--aggregate", "sum"]) == 0
+
+
+class TestCompare:
+    def test_compare_verified(self, capsys):
+        code = main(
+            ["compare", "binomial", "--rows", "400", "--skew", "0.4",
+             "--machines", "4", "--engines", "spcube", "naive",
+             "--verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spcube" in out and "naive" in out
+        assert "identical cubes" in out
+
+
+class TestSketch:
+    def test_sketch_describes_and_writes(self, tmp_path, capsys):
+        data = str(tmp_path / "data.tsv")
+        sketch_path = str(tmp_path / "sketch.json")
+        main(
+            ["generate", "binomial", "--rows", "500", "--skew", "0.6",
+             "-o", data]
+        )
+        code = main(
+            ["sketch", data, "--machines", "4", "--limit", "2",
+             "-o", sketch_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skewed c-groups" in out
+        assert "written to" in out
+
+        from repro.io import read_sketch
+
+        assert read_sketch(sketch_path).num_skewed > 0
+
+    def test_sketch_exact_mode(self, tmp_path, capsys):
+        data = str(tmp_path / "data.tsv")
+        main(["generate", "binomial", "--rows", "300", "-o", data])
+        assert main(["sketch", data, "--exact", "--machines", "3"]) == 0
+        assert "exact" in capsys.readouterr().out

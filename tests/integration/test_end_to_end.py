@@ -1,0 +1,98 @@
+"""End-to-end runs on the paper's workloads: metrics-level expectations.
+
+These assert the *shape* claims of Section 6 at miniature scale: SP-Cube
+wins on time and traffic, balances reducers, keeps its sketch tiny, and
+Hive fails exactly in the high-skew regime.
+"""
+
+import pytest
+
+from repro.baselines import HiveCube, MRCube
+from repro.core import SPCube
+from repro.analysis import paper_cluster, run_algorithms
+from repro.datagen import gen_binomial, gen_zipf, wikipedia_traffic
+
+
+@pytest.fixture(scope="module")
+def binomial_runs():
+    n = 12_000
+    cluster = paper_cluster(n)
+    rel = gen_binomial(n, 0.25, seed=17)
+    return run_algorithms(
+        rel,
+        {
+            "pig": MRCube(cluster),
+            "hive": HiveCube(cluster),
+            "spcube": SPCube(cluster),
+        },
+    )
+
+
+class TestComparativeShapes:
+    def test_spcube_fastest(self, binomial_runs):
+        spcube = binomial_runs["spcube"].metrics.total_seconds
+        assert spcube < binomial_runs["pig"].metrics.total_seconds
+        assert spcube < binomial_runs["hive"].metrics.total_seconds
+
+    def test_spcube_least_traffic(self, binomial_runs):
+        spcube = binomial_runs["spcube"].metrics.intermediate_bytes
+        assert spcube < binomial_runs["pig"].metrics.intermediate_bytes
+        assert spcube < binomial_runs["hive"].metrics.intermediate_bytes
+
+    def test_all_agree(self, binomial_runs):
+        cubes = [run.cube for run in binomial_runs.values()]
+        assert cubes[0] == cubes[1] == cubes[2]
+
+    def test_sketch_orders_of_magnitude_below_input(self, binomial_runs):
+        from repro.mapreduce import relation_bytes
+
+        sketch_bytes = binomial_runs["spcube"].metrics.extras["sketch_bytes"]
+        # Input is ~12k rows * ~40B; sketch must be a tiny fraction.
+        assert sketch_bytes < 50_000
+
+
+class TestHiveFailureBoundary:
+    @pytest.mark.parametrize(
+        "p,expect_failed",
+        # The analytic boundary is p > 0.375; at this miniature n the
+        # planted group sizes (Poisson around p*n/20) blur the crossing,
+        # so the test probes clearly on each side.  The Figure 6 bench
+        # demonstrates the exact p >= 0.4 boundary at full bench scale.
+        [(0.0, False), (0.25, False), (0.5, True), (0.75, True)],
+    )
+    def test_figure6_boundary(self, p, expect_failed):
+        n = 8_000
+        cluster = paper_cluster(n)
+        run = HiveCube(cluster).compute(gen_binomial(n, p, seed=23))
+        assert run.metrics.failed == expect_failed
+
+    def test_spcube_never_fails(self):
+        n = 8_000
+        cluster = paper_cluster(n)
+        for p in (0.0, 0.4, 0.75):
+            run = SPCube(cluster).compute(gen_binomial(n, p, seed=23))
+            assert not run.metrics.failed
+
+
+class TestSPCubeResilience:
+    def test_flat_across_distributions(self):
+        """Section 6.1's closing observation: SP-Cube performs similarly
+        on very different distributions at equal size."""
+        n = 10_000
+        cluster = paper_cluster(n)
+        times = []
+        for rel in (
+            wikipedia_traffic(n, seed=4),
+            gen_zipf(n, seed=4),
+            gen_binomial(n, 0.3, seed=4),
+        ):
+            run = SPCube(cluster).compute(rel)
+            times.append(run.metrics.total_seconds)
+        assert max(times) < 2.5 * min(times)
+
+    def test_reducer_balance(self):
+        n = 10_000
+        cluster = paper_cluster(n)
+        run = SPCube(cluster).compute(gen_zipf(n, seed=6))
+        # max/mean load of the cube round's active reducers stays moderate.
+        assert run.metrics.reducer_balance < 4.0

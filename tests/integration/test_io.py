@@ -1,0 +1,112 @@
+"""File interchange: relations, cubes, sketches."""
+
+import pytest
+
+from repro import io as repro_io
+from repro.core import SPCube, build_exact_sketch
+from repro.cubing import sequential_cube
+from repro.datagen import gen_binomial
+from repro.mapreduce import ClusterConfig
+from repro.relation import all_cuboids
+
+from ..conftest import make_random_relation
+
+
+class TestRelationRoundtrip:
+    def test_roundtrip_string_dimensions(self, retail_relation, tmp_path):
+        path = str(tmp_path / "retail.tsv")
+        written = repro_io.write_relation(retail_relation, path)
+        assert written == 10
+        loaded = repro_io.read_relation(
+            path, dimension_parsers=[str, str, int]
+        )
+        assert loaded.rows == retail_relation.rows
+        assert loaded.schema == retail_relation.schema
+
+    def test_roundtrip_integer_dimensions(self, tmp_path):
+        rel = make_random_relation(50, seed=1)
+        path = str(tmp_path / "ints.tsv")
+        repro_io.write_relation(rel, path)
+        loaded = repro_io.read_relation(
+            path, dimension_parsers=[int, int, int]
+        )
+        assert loaded.rows == rel.rows
+
+    def test_custom_delimiter(self, retail_relation, tmp_path):
+        path = str(tmp_path / "retail.csv")
+        repro_io.write_relation(retail_relation, path, delimiter=",")
+        loaded = repro_io.read_relation(
+            path, delimiter=",", dimension_parsers=[str, str, int]
+        )
+        assert len(loaded) == 10
+
+    def test_bad_field_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\tm\n1\t2\n")
+        with pytest.raises(ValueError, match="fields"):
+            repro_io.read_relation(str(path))
+
+    def test_wrong_parser_count(self, retail_relation, tmp_path):
+        path = str(tmp_path / "retail.tsv")
+        repro_io.write_relation(retail_relation, path)
+        with pytest.raises(ValueError, match="parsers"):
+            repro_io.read_relation(path, dimension_parsers=[str])
+
+    def test_cube_of_loaded_equals_cube_of_original(
+        self, retail_relation, tmp_path
+    ):
+        path = str(tmp_path / "retail.tsv")
+        repro_io.write_relation(retail_relation, path)
+        loaded = repro_io.read_relation(
+            path, dimension_parsers=[str, str, int]
+        )
+        assert sequential_cube(loaded) == sequential_cube(retail_relation)
+
+
+class TestCubeExport:
+    def test_star_notation_lines(self, retail_relation, tmp_path):
+        cube = sequential_cube(retail_relation)
+        path = tmp_path / "cube.tsv"
+        lines = repro_io.write_cube(cube, str(path))
+        assert lines == cube.num_groups
+        content = path.read_text()
+        assert "(laptop, *, *)\t3" in content
+        assert "(*, *, *)\t10" in content
+
+
+class TestSketchRoundtrip:
+    def test_json_roundtrip_exact(self):
+        rel = make_random_relation(400, seed=5, skew_fraction=0.4)
+        sketch = build_exact_sketch(rel, 4, 40)
+        restored = repro_io.sketch_from_json(repro_io.sketch_to_json(sketch))
+        assert restored.num_dimensions == sketch.num_dimensions
+        assert restored.num_partitions == sketch.num_partitions
+        for mask in all_cuboids(3):
+            assert (
+                restored.cuboids[mask].skewed == sketch.cuboids[mask].skewed
+            )
+            assert (
+                restored.cuboids[mask].partition_elements
+                == sketch.cuboids[mask].partition_elements
+            )
+
+    def test_restored_sketch_answers_queries(self):
+        rel = make_random_relation(400, seed=6, skew_fraction=0.5)
+        sketch = build_exact_sketch(rel, 4, 40)
+        restored = repro_io.sketch_from_json(repro_io.sketch_to_json(sketch))
+        for row in rel.rows[:30]:
+            assert restored.skew_bits(row) == sketch.skew_bits(row)
+            for mask in all_cuboids(3):
+                group = rel.project_group(row, mask)
+                assert restored.partition_of(
+                    mask, group
+                ) == sketch.partition_of(mask, group)
+
+    def test_file_roundtrip(self, tmp_path):
+        rel = gen_binomial(500, 0.4, seed=2)
+        run = SPCube(ClusterConfig(num_machines=4)).compute(rel)
+        path = str(tmp_path / "sketch.json")
+        size = repro_io.write_sketch(run.sketch, path)
+        assert size > 0
+        restored = repro_io.read_sketch(path)
+        assert restored.num_skewed == run.sketch.num_skewed

@@ -1,0 +1,53 @@
+"""Cluster configuration and memory derivation."""
+
+import pytest
+
+from repro.mapreduce import ClusterConfig
+
+
+class TestValidation:
+    def test_defaults(self):
+        cluster = ClusterConfig()
+        assert cluster.num_machines == 20
+        assert cluster.memory_records is None
+
+    def test_invalid_machines(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_machines=0)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(memory_records=0)
+
+    def test_invalid_slack(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(memory_slack=0.5)
+
+
+class TestMemoryDerivation:
+    def test_derives_n_over_k(self):
+        cluster = ClusterConfig(num_machines=4)
+        assert cluster.derive_memory(100) == 25
+
+    def test_rounds_up(self):
+        cluster = ClusterConfig(num_machines=4)
+        assert cluster.derive_memory(101) == 26
+
+    def test_explicit_memory_wins(self):
+        cluster = ClusterConfig(num_machines=4, memory_records=7)
+        assert cluster.derive_memory(1000) == 7
+
+    def test_minimum_one(self):
+        assert ClusterConfig(num_machines=8).derive_memory(0) == 1
+
+    def test_physical_memory_applies_slack(self):
+        cluster = ClusterConfig(memory_slack=2.0)
+        assert cluster.physical_memory(100) == 200
+
+    def test_with_memory_copies(self):
+        base = ClusterConfig(num_machines=6, seed=99)
+        pinned = base.with_memory(50)
+        assert pinned.memory_records == 50
+        assert pinned.num_machines == 6
+        assert pinned.seed == 99
+        assert base.memory_records is None

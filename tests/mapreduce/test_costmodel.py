@@ -1,0 +1,45 @@
+"""Cost model arithmetic."""
+
+import pytest
+
+from repro.mapreduce import CostModel
+
+
+class TestCostModel:
+    def test_map_task_scales_with_ops_and_bytes(self):
+        model = CostModel(record_scale=1.0)
+        base = model.map_task_seconds(0, 0)
+        assert base == 0.0
+        assert model.map_task_seconds(1000, 0) > 0
+        assert model.map_task_seconds(1000, 1000) > model.map_task_seconds(
+            1000, 0
+        )
+
+    def test_record_scale_multiplies(self):
+        small = CostModel(record_scale=1.0)
+        big = CostModel(record_scale=100.0)
+        assert big.map_task_seconds(10, 10) == pytest.approx(
+            100 * small.map_task_seconds(10, 10)
+        )
+
+    def test_shuffle_gated_by_max_reducer(self):
+        model = CostModel(record_scale=1.0)
+        assert model.shuffle_seconds(2_000_000) == pytest.approx(
+            2_000_000 * model.shuffle_byte_seconds
+        )
+
+    def test_spill_penalty_additive(self):
+        model = CostModel(record_scale=1.0)
+        without = model.reduce_task_seconds(100, 0, 0)
+        with_spill = model.reduce_task_seconds(100, 50, 0)
+        assert with_spill - without == pytest.approx(
+            50 * model.spill_record_seconds
+        )
+
+    def test_frozen(self):
+        model = CostModel()
+        with pytest.raises(AttributeError):
+            model.record_scale = 5
+
+    def test_startup_constant_exists(self):
+        assert CostModel().round_startup_seconds > 0

@@ -1,0 +1,67 @@
+"""Simulated distributed file system."""
+
+import pytest
+
+from repro.mapreduce import DistributedFileSystem, FileNotFound
+
+
+@pytest.fixture
+def dfs():
+    return DistributedFileSystem()
+
+
+class TestReadWrite:
+    def test_roundtrip(self, dfs):
+        dfs.write("a/b", [1, 2, 3])
+        assert dfs.read("a/b") == [1, 2, 3]
+
+    def test_write_returns_count(self, dfs):
+        assert dfs.write("x", iter(range(5))) == 5
+
+    def test_overwrite(self, dfs):
+        dfs.write("x", [1])
+        dfs.write("x", [2])
+        assert dfs.read("x") == [2]
+
+    def test_append(self, dfs):
+        dfs.append("log", [1])
+        dfs.append("log", [2, 3])
+        assert dfs.read("log") == [1, 2, 3]
+
+    def test_missing_file(self, dfs):
+        with pytest.raises(FileNotFound):
+            dfs.read("nope")
+
+
+class TestNamespace:
+    def test_exists_and_contains(self, dfs):
+        dfs.write("p", [])
+        assert dfs.exists("p")
+        assert "p" in dfs
+        assert not dfs.exists("q")
+
+    def test_delete_idempotent(self, dfs):
+        dfs.write("p", [1])
+        dfs.delete("p")
+        dfs.delete("p")
+        assert not dfs.exists("p")
+
+    def test_list_files_sorted(self, dfs):
+        dfs.write("b", [])
+        dfs.write("a", [])
+        assert dfs.list_files() == ["a", "b"]
+
+    def test_len(self, dfs):
+        dfs.write("a", [])
+        dfs.write("b", [])
+        assert len(dfs) == 2
+
+
+class TestSizing:
+    def test_size_bytes(self, dfs):
+        dfs.write("data", [(1, 2)])
+        assert dfs.size_bytes("data") == 4 + 16
+
+    def test_size_of_missing_raises(self, dfs):
+        with pytest.raises(FileNotFound):
+            dfs.size_bytes("nope")

@@ -1,0 +1,310 @@
+"""The MapReduce engine: data flow, combiners, partitioners, metrics."""
+
+import pytest
+
+from repro.mapreduce import (
+    ClusterConfig,
+    Mapper,
+    MapReduceJob,
+    Reducer,
+    hash_partitioner,
+    run_job,
+    stable_hash,
+)
+
+
+def word_count_job(**kwargs):
+    def map_fn(record):
+        for word in record.split():
+            yield word, 1
+
+    def reduce_fn(key, values):
+        yield key, sum(values)
+
+    return MapReduceJob.from_functions("wordcount", map_fn, reduce_fn, **kwargs)
+
+
+@pytest.fixture
+def cluster():
+    return ClusterConfig(num_machines=3)
+
+
+class TestBasicExecution:
+    def test_word_count(self, cluster):
+        chunks = [["a b a"], ["b c"], ["a"]]
+        result = run_job(word_count_job(), chunks, cluster, memory_records=10)
+        assert dict(result.output) == {"a": 3, "b": 2, "c": 1}
+
+    def test_empty_input(self, cluster):
+        result = run_job(word_count_job(), [[], [], []], cluster, 10)
+        assert result.output == []
+        assert result.metrics.map_output_records == 0
+
+    def test_reducer_outputs_collected_per_task(self, cluster):
+        chunks = [["a b c d e f"]]
+        result = run_job(word_count_job(), chunks, cluster, 10)
+        assert len(result.reducer_outputs) == cluster.num_machines
+        flattened = [p for out in result.reducer_outputs for p in out]
+        assert sorted(flattened) == sorted(result.output)
+
+    def test_num_reducers_override(self, cluster):
+        job = word_count_job(num_reducers=1)
+        result = run_job(job, [["a b"], ["c"]], cluster, 10)
+        assert len(result.metrics.reduce_tasks) == 1
+
+    def test_keys_processed_in_sorted_order(self, cluster):
+        job = word_count_job(num_reducers=1)
+        result = run_job(job, [["c a b"]], cluster, 10)
+        assert [key for key, _count in result.output] == ["a", "b", "c"]
+
+
+class TestStatefulMapper:
+    def test_close_emits_final_pairs(self, cluster):
+        class SummingMapper(Mapper):
+            def setup(self, context):
+                super().setup(context)
+                self.total = 0
+
+            def map(self, record):
+                self.total += record
+                return ()
+
+            def close(self):
+                yield "total", self.total
+
+        class PassReducer(Reducer):
+            def reduce(self, key, values):
+                yield key, sum(values)
+
+        job = MapReduceJob(
+            "sums", SummingMapper, PassReducer, num_reducers=1
+        )
+        result = run_job(job, [[1, 2], [3]], cluster, 10)
+        # One partial total per mapper, merged by the single reducer.
+        assert result.output == [("total", 6)]
+
+    def test_mapper_state_isolated_per_task(self, cluster):
+        instances = []
+
+        class Recording(Mapper):
+            def __init__(self):
+                instances.append(self)
+
+            def map(self, record):
+                return ()
+
+        class Null(Reducer):
+            def reduce(self, key, values):
+                return ()
+
+        job = MapReduceJob("iso", Recording, Null)
+        run_job(job, [[1], [2], [3]], cluster, 10)
+        assert len(instances) == 3
+        assert len(set(map(id, instances))) == 3
+
+
+class TestCombiner:
+    def test_combiner_reduces_map_output(self, cluster):
+        def combiner(key, values):
+            yield key, sum(values)
+
+        with_combiner = run_job(
+            word_count_job(combiner=combiner), [["a a a a"]], cluster, 10
+        )
+        without = run_job(word_count_job(), [["a a a a"]], cluster, 10)
+        assert with_combiner.metrics.map_output_records == 1
+        assert without.metrics.map_output_records == 4
+        assert dict(with_combiner.output) == dict(without.output)
+
+    def test_combiner_applies_per_map_task(self, cluster):
+        def combiner(key, values):
+            yield key, sum(values)
+
+        result = run_job(
+            word_count_job(combiner=combiner), [["a a"], ["a"]], cluster, 10
+        )
+        # One combined record per mapper that saw "a".
+        assert result.metrics.map_output_records == 2
+        assert dict(result.output) == {"a": 3}
+
+
+class TestPartitioner:
+    def test_custom_partitioner_routes_keys(self, cluster):
+        def to_zero(key, num_reducers):
+            return 0
+
+        result = run_job(
+            word_count_job(partitioner=to_zero), [["a b c"]], cluster, 10
+        )
+        loads = result.metrics.reducer_input_records
+        assert loads[0] == 3
+        assert sum(loads[1:]) == 0
+
+    def test_out_of_range_partitioner_rejected(self, cluster):
+        def bad(key, num_reducers):
+            return num_reducers
+
+        with pytest.raises(ValueError, match="routed key"):
+            run_job(word_count_job(partitioner=bad), [["a"]], cluster, 10)
+
+    def test_hash_partitioner_in_range(self):
+        for key in ["a", ("b", 1), 42]:
+            assert 0 <= hash_partitioner(key, 7) < 7
+
+    def test_stable_hash_deterministic(self):
+        assert stable_hash(("x", 1)) == stable_hash(("x", 1))
+        assert stable_hash("a") != stable_hash("b")
+
+
+class TestMetricsAccounting:
+    def test_bytes_conservation(self, cluster):
+        """Map output bytes equal the sum of reducer input bytes."""
+        chunks = [["a b c d"], ["a a"], []]
+        result = run_job(word_count_job(), chunks, cluster, 10)
+        assert result.metrics.map_output_bytes == sum(
+            t.bytes_in for t in result.metrics.reduce_tasks
+        )
+
+    def test_record_conservation(self, cluster):
+        chunks = [["a b"], ["c d e"]]
+        result = run_job(word_count_job(), chunks, cluster, 10)
+        assert result.metrics.map_output_records == sum(
+            result.metrics.reducer_input_records
+        )
+
+    def test_map_records_in(self, cluster):
+        result = run_job(word_count_job(), [["x", "y"], ["z"]], cluster, 10)
+        assert sum(t.records_in for t in result.metrics.map_tasks) == 3
+
+    def test_phase_times_positive(self, cluster):
+        result = run_job(word_count_job(), [["a"]], cluster, 10)
+        metrics = result.metrics
+        assert metrics.map_phase_seconds > 0
+        assert metrics.reduce_phase_seconds > 0
+        assert metrics.total_seconds == pytest.approx(
+            metrics.map_phase_seconds
+            + metrics.shuffle_seconds
+            + metrics.reduce_phase_seconds
+        )
+
+    def test_spill_accounting(self, cluster):
+        chunks = [["a " * 50], [], []]
+        result = run_job(word_count_job(num_reducers=1), chunks, cluster, 5)
+        task = result.metrics.reduce_tasks[0]
+        physical = cluster.physical_memory(5)
+        assert task.spilled_records == 50 - physical
+
+    def test_peak_group_records(self, cluster):
+        chunks = [["a a a b"]]
+        result = run_job(word_count_job(num_reducers=1), chunks, cluster, 10)
+        assert result.metrics.reduce_tasks[0].peak_group_records == 3
+
+
+class TestFailureFlagging:
+    def _job(self, **kwargs):
+        return word_count_job(num_reducers=2, **kwargs)
+
+    def test_no_flag_by_default(self, cluster):
+        chunks = [["a " * 100]]
+        result = run_job(self._job(), chunks, cluster, 4)
+        assert result.metrics.oom_reducers == []
+        assert not result.metrics.failed
+
+    def test_oversized_dominant_group_flagged_when_opted_in(self, cluster):
+        chunks = [["a " * 100]]
+        job = self._job(value_buffer_fraction=0.5)
+        result = run_job(job, chunks, cluster, 4)
+        assert len(result.metrics.oom_reducers) == 1
+
+    def test_oversized_minority_not_flagged(self, cluster):
+        # Route everything to reducer 0: the big group is < 1/3 of input.
+        def to_zero(key, num_reducers):
+            return 0
+
+        chunks = [["a a a a a a " + " ".join(f"w{i}" for i in range(100))]]
+        job = word_count_job(
+            num_reducers=1,
+            partitioner=to_zero,
+            value_buffer_fraction=0.5,
+        )
+        result = run_job(job, chunks, cluster, 8)
+        assert result.metrics.oom_reducers == []
+
+    def test_quorum_gates_job_failure(self, cluster):
+        chunks = [["a " * 50 + "b " * 50]]
+        job = self._job(value_buffer_fraction=0.1)
+        result = run_job(job, chunks, cluster, 4)
+        # Both reducers flagged -> meets the floor quorum of 2.
+        assert len(result.metrics.oom_reducers) == 2
+        assert result.metrics.failed
+
+    def test_forced_failure_flag(self, cluster):
+        result = run_job(self._job(), [["a"]], cluster, 10)
+        assert not result.metrics.failed
+        result.metrics.forced_failure = True
+        assert result.metrics.failed
+
+
+class TestContext:
+    def test_extra_cpu_charged(self, cluster):
+        class Busy(Mapper):
+            def map(self, record):
+                self.context.add_cpu(100)
+                return ()
+
+        class Null(Reducer):
+            def reduce(self, key, values):
+                return ()
+
+        job = MapReduceJob("busy", Busy, Null)
+        result = run_job(job, [[1]], cluster, 10)
+        assert result.metrics.map_tasks[0].cpu_ops == 1 + 100
+
+    def test_context_exposes_cluster_facts(self, cluster):
+        seen = {}
+
+        class Probe(Mapper):
+            def setup(self, context):
+                super().setup(context)
+                seen[context.machine] = (
+                    context.num_machines,
+                    context.memory_records,
+                )
+
+            def map(self, record):
+                return ()
+
+        class Null(Reducer):
+            def reduce(self, key, values):
+                return ()
+
+        run_job(MapReduceJob("probe", Probe, Null), [[1], [2]], cluster, 99)
+        assert seen == {0: (3, 99), 1: (3, 99)}
+
+    def test_user_counters(self, cluster):
+        class Counting(Mapper):
+            def map(self, record):
+                self.context.incr("seen")
+                return ()
+
+        class Null(Reducer):
+            def reduce(self, key, values):
+                return ()
+
+        # Counters are per-task; just verify the API works.
+        run_job(MapReduceJob("cnt", Counting, Null), [[1, 2]], cluster, 10)
+
+
+class TestMixedKeyOrdering:
+    def test_uncomparable_keys_fall_back_to_repr(self, cluster):
+        def map_fn(record):
+            yield record, 1
+
+        def reduce_fn(key, values):
+            yield key, len(values)
+
+        job = MapReduceJob.from_functions(
+            "mixed", map_fn, reduce_fn, num_reducers=1
+        )
+        result = run_job(job, [[1, "a", (2,)]], cluster, 10)
+        assert len(result.output) == 3

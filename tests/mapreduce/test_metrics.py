@@ -1,0 +1,95 @@
+"""Metrics containers and derived measures."""
+
+from repro.mapreduce import JobMetrics, RunMetrics, TaskMetrics
+
+
+def job_with_tasks(name="j", map_secs=(), reduce_specs=()):
+    """reduce_specs: list of (seconds, records_in)."""
+    job = JobMetrics(name=name)
+    for seconds in map_secs:
+        job.map_tasks.append(TaskMetrics(seconds=seconds))
+    for seconds, records in reduce_specs:
+        job.reduce_tasks.append(
+            TaskMetrics(seconds=seconds, records_in=records)
+        )
+    return job
+
+
+class TestJobMetrics:
+    def test_avg_map_seconds(self):
+        job = job_with_tasks(map_secs=[1.0, 3.0])
+        assert job.avg_map_seconds == 2.0
+
+    def test_avg_seconds_empty(self):
+        job = JobMetrics(name="empty")
+        assert job.avg_map_seconds == 0.0
+        assert job.avg_reduce_seconds == 0.0
+
+    def test_avg_reduce_seconds(self):
+        job = job_with_tasks(reduce_specs=[(2.0, 1), (4.0, 1)])
+        assert job.avg_reduce_seconds == 3.0
+
+    def test_max_reducer_input(self):
+        job = job_with_tasks(reduce_specs=[(0, 5), (0, 9), (0, 2)])
+        assert job.max_reducer_input_records == 9
+
+    def test_failed_needs_quorum(self):
+        job = JobMetrics(name="j", oom_quorum=2)
+        job.oom_reducers.append(3)
+        assert not job.failed
+        job.oom_reducers.append(7)
+        assert job.failed
+
+    def test_forced_failure_overrides_quorum(self):
+        job = JobMetrics(name="j", oom_quorum=99, forced_failure=True)
+        assert job.failed
+
+
+class TestRunMetrics:
+    def test_total_seconds_sums_jobs(self):
+        run = RunMetrics(algorithm="x")
+        for total in (10.0, 5.0):
+            job = JobMetrics(name="j", total_seconds=total)
+            run.jobs.append(job)
+        assert run.total_seconds == 15.0
+
+    def test_intermediate_bytes_sums_jobs(self):
+        run = RunMetrics(algorithm="x")
+        for size in (100, 250):
+            run.jobs.append(JobMetrics(name="j", map_output_bytes=size))
+        assert run.intermediate_bytes == 350
+
+    def test_avg_times_come_from_dominant_round(self):
+        """Per-task averages refer to the round shuffling the most — the
+        materialization round — not to cheap sampling/post-agg rounds."""
+        run = RunMetrics(algorithm="x")
+        sampling = job_with_tasks(map_secs=[100.0])
+        sampling.map_output_records = 10
+        cube = job_with_tasks(map_secs=[2.0])
+        cube.map_output_records = 10_000
+        postagg = job_with_tasks(map_secs=[50.0])
+        postagg.map_output_records = 100
+        run.jobs.extend([sampling, cube, postagg])
+        assert run.avg_map_seconds == 2.0
+
+    def test_failed_any_round(self):
+        run = RunMetrics(algorithm="x")
+        run.jobs.append(JobMetrics(name="ok"))
+        run.jobs.append(JobMetrics(name="bad", forced_failure=True))
+        assert run.failed
+
+    def test_reducer_balance(self):
+        run = RunMetrics(algorithm="x")
+        run.jobs.append(
+            job_with_tasks(reduce_specs=[(0, 10), (0, 10), (0, 40)])
+        )
+        assert run.reducer_balance == 40 / 20
+
+    def test_reducer_balance_empty(self):
+        run = RunMetrics(algorithm="x")
+        assert run.reducer_balance == 0.0
+
+    def test_extras_dict(self):
+        run = RunMetrics(algorithm="x")
+        run.extras["sketch_bytes"] = 123
+        assert run.extras["sketch_bytes"] == 123

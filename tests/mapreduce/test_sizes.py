@@ -1,0 +1,71 @@
+"""Serialized-size estimation."""
+
+from collections import Counter
+
+from repro.mapreduce import estimate_bytes, pair_bytes, relation_bytes
+
+
+class TestScalars:
+    def test_int(self):
+        assert estimate_bytes(42) == 8
+
+    def test_float(self):
+        assert estimate_bytes(2.5) == 8
+
+    def test_none(self):
+        assert estimate_bytes(None) == 1
+
+    def test_bool(self):
+        assert estimate_bytes(True) == 1
+
+    def test_string_length_prefixed(self):
+        assert estimate_bytes("abc") == 4 + 3
+        assert estimate_bytes("") == 4
+
+    def test_bytes(self):
+        assert estimate_bytes(b"xy") == 6
+
+
+class TestContainers:
+    def test_flat_tuple(self):
+        assert estimate_bytes(("laptop", 2012)) == 4 + (4 + 6) + 8
+
+    def test_empty_tuple(self):
+        assert estimate_bytes(()) == 4
+
+    def test_list_same_as_tuple(self):
+        assert estimate_bytes([1, 2]) == estimate_bytes((1, 2))
+
+    def test_nested_tuple(self):
+        inner = estimate_bytes((1, 2))
+        assert estimate_bytes(((1, 2), 3)) == 4 + inner + 8
+
+    def test_counter(self):
+        counter = Counter({"a": 3, "bb": 1})
+        assert estimate_bytes(counter) == 4 + (5 + 8) + (6 + 8)
+
+    def test_dict(self):
+        assert estimate_bytes({1: 2}) == 4 + 8 + 8
+
+    def test_set(self):
+        assert estimate_bytes(frozenset([1, 2])) == 4 + 16
+
+    def test_size_monotone_in_content(self):
+        assert estimate_bytes((1, 2, 3)) > estimate_bytes((1, 2))
+
+
+class TestHelpers:
+    def test_pair_bytes(self):
+        assert pair_bytes(1, 2) == 16
+
+    def test_relation_bytes(self):
+        count, total = relation_bytes([(1, 2), (3, 4)])
+        assert count == 2
+        assert total == 2 * (4 + 16)
+
+    def test_fallback_uses_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "odd"
+
+        assert estimate_bytes(Odd()) == 4 + 3

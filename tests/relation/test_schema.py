@@ -1,0 +1,94 @@
+"""Schema construction and validation."""
+
+import pytest
+
+from repro.relation import Schema, SchemaError
+
+
+class TestSchemaConstruction:
+    def test_basic_properties(self):
+        schema = Schema(["a", "b", "c"], "m")
+        assert schema.num_dimensions == 3
+        assert schema.arity == 4
+        assert schema.dimensions == ("a", "b", "c")
+        assert schema.measure == "m"
+
+    def test_default_measure_name(self):
+        assert Schema(["x"]).measure == "measure"
+
+    def test_dimensions_are_immutable_tuple(self):
+        schema = Schema(["a", "b"], "m")
+        assert isinstance(schema.dimensions, tuple)
+
+    def test_empty_dimensions_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([], "m")
+
+    def test_duplicate_dimensions_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"], "m")
+
+    def test_measure_colliding_with_dimension_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "b"], "a")
+
+    def test_accepts_any_sequence(self):
+        schema = Schema(("x", "y"), "m")
+        assert schema.num_dimensions == 2
+
+
+class TestDimensionIndex:
+    def test_index_lookup(self):
+        schema = Schema(["name", "city", "year"], "sales")
+        assert schema.dimension_index("name") == 0
+        assert schema.dimension_index("year") == 2
+
+    def test_unknown_dimension_raises(self):
+        schema = Schema(["a"], "m")
+        with pytest.raises(SchemaError, match="unknown dimension"):
+            schema.dimension_index("nope")
+
+    def test_measure_is_not_a_dimension(self):
+        schema = Schema(["a"], "m")
+        with pytest.raises(SchemaError):
+            schema.dimension_index("m")
+
+
+class TestRowValidation:
+    def test_valid_row_passes(self):
+        Schema(["a", "b"], "m").validate_row(("x", "y", 3))
+
+    def test_float_measure_passes(self):
+        Schema(["a"], "m").validate_row(("x", 2.5))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError, match="fields"):
+            Schema(["a", "b"], "m").validate_row(("x", 1))
+
+    def test_non_numeric_measure_rejected(self):
+        with pytest.raises(SchemaError, match="not numeric"):
+            Schema(["a"], "m").validate_row(("x", "oops"))
+
+    def test_boolean_measure_rejected(self):
+        with pytest.raises(SchemaError, match="not numeric"):
+            Schema(["a"], "m").validate_row(("x", True))
+
+
+class TestEqualityAndRepr:
+    def test_equal_schemas(self):
+        assert Schema(["a", "b"], "m") == Schema(["a", "b"], "m")
+
+    def test_different_measure_not_equal(self):
+        assert Schema(["a"], "m1") != Schema(["a"], "m2")
+
+    def test_different_order_not_equal(self):
+        assert Schema(["a", "b"], "m") != Schema(["b", "a"], "m")
+
+    def test_hashable(self):
+        assert len({Schema(["a"], "m"), Schema(["a"], "m")}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Schema(["a"], "m") != "schema"
+
+    def test_repr_mentions_dimensions(self):
+        assert "name" in repr(Schema(["name"], "m"))

@@ -1,0 +1,119 @@
+"""Theory predicates: skewness monotonicity and traffic bounds."""
+
+import pytest
+
+from repro.core import build_exact_sketch
+from repro.datagen import adversarial_relation, gen_binomial
+from repro.relation import Relation, Schema
+from repro.theory import (
+    independent_traffic_bound,
+    is_skewness_monotonic,
+    monotonic_traffic_bound,
+    monotonicity_violations,
+    planned_traffic,
+    prop56_skew_probability_bound,
+    skewed_groups_by_cuboid,
+    skewed_traffic_bound,
+    worst_case_traffic,
+)
+
+from ..conftest import make_random_relation
+
+
+class TestSkewedGroups:
+    def test_groups_found_per_cuboid(self):
+        rel = make_random_relation(400, seed=1, skew_fraction=0.5)
+        skewed = skewed_groups_by_cuboid(rel, memory_records=50)
+        assert (1, 1, 1) in skewed[0b111]
+        assert () in skewed[0]  # apex always over 50
+
+    def test_threshold_is_strict(self):
+        rows = [(1, 1) for _ in range(10)]
+        rel = Relation(Schema(["a"], "m"), rows, validate=False)
+        skewed = skewed_groups_by_cuboid(rel, memory_records=10)
+        assert skewed[0b1] == set()  # exactly 10 is not > 10
+
+
+class TestMonotonicity:
+    def test_no_skew_data_is_vacuously_monotonic(self):
+        rel = make_random_relation(100, cardinality=1000, seed=2)
+        assert is_skewness_monotonic(rel, memory_records=50)
+
+    def test_identical_rows_are_monotonic(self):
+        rel = make_random_relation(200, seed=3, skew_fraction=1.0)
+        assert is_skewness_monotonic(rel, memory_records=50)
+
+    def test_constructed_violation_detected(self):
+        """Two patterns agreeing on each single attribute but not jointly:
+        both level-1 groups are skewed, the level-2 group is not."""
+        rows = [(1, 1, 0)] * 30 + [(1, 2, 0)] * 30 + [(2, 1, 0)] * 30
+        rel = Relation(Schema(["a", "b"], "m"), rows, validate=False)
+        # m = 35: (1,*) has 60 > 35, (*,1) has 60 > 35, but (1,1) has 30.
+        violations = monotonicity_violations(rel, memory_records=35)
+        assert (0b11, (1, 1)) in violations
+        assert not is_skewness_monotonic(rel, 35)
+
+
+class TestPlannedTraffic:
+    def test_adversarial_relation_hits_exponential_traffic(self):
+        """Theorem 5.3: every level-(d/2+1) node is an unmarked non-skewed
+        c-group, so emissions per tuple are Theta(2^d / sqrt(d))."""
+        from repro.datagen import (
+            adversarial_memory,
+            expected_emissions_per_tuple,
+        )
+
+        d, n = 6, 6000
+        rel = adversarial_relation(d, n, seed=1)
+        m = adversarial_memory(d, n)
+        sketch = build_exact_sketch(rel, num_partitions=4, memory_records=m)
+        plan = planned_traffic(rel, sketch)
+        predicted = expected_emissions_per_tuple(d)
+        assert plan.emissions_per_tuple >= 0.9 * predicted
+        assert plan.emitted_tuples <= worst_case_traffic(d, len(rel))
+
+    def test_monotonic_relation_within_linear_bound(self):
+        """Prop 5.5: monotonic relations emit O(d) per tuple."""
+        rel = make_random_relation(
+            600, num_dimensions=4, cardinality=500, seed=4, skew_fraction=0.3
+        )
+        m = len(rel) // 5
+        assert is_skewness_monotonic(rel, m)
+        sketch = build_exact_sketch(rel, 5, m)
+        plan = planned_traffic(rel, sketch)
+        assert plan.emitted_tuples <= monotonic_traffic_bound(4, len(rel))
+
+    def test_skew_absorption_counted(self):
+        rel = make_random_relation(300, seed=5, skew_fraction=1.0)
+        sketch = build_exact_sketch(rel, 4, 50)
+        plan = planned_traffic(rel, sketch)
+        # Everything identical: all 2^3 nodes of every tuple are skewed.
+        assert plan.skew_absorptions == 300 * 8
+        assert plan.emitted_tuples == 0
+
+    def test_gen_binomial_within_independent_bound(self):
+        rel = gen_binomial(800, 0.3, seed=6)
+        m = len(rel) // 10
+        sketch = build_exact_sketch(rel, 10, m)
+        plan = planned_traffic(rel, sketch)
+        assert plan.emitted_tuples <= independent_traffic_bound(4, len(rel))
+
+
+class TestBoundFormulas:
+    def test_bound_values(self):
+        assert skewed_traffic_bound(4, 100) == 400
+        assert monotonic_traffic_bound(4, 100) == 400
+        assert independent_traffic_bound(4, 100) == 1600
+        assert worst_case_traffic(4, 100) == 1600
+
+    def test_prop56_probability_bound(self):
+        assert prop56_skew_probability_bound(4, 1) == pytest.approx(
+            4 ** 0.5 / 4
+        )
+        assert prop56_skew_probability_bound(8, 3) == pytest.approx(
+            8 ** 0.25 / 8
+        )
+
+    def test_prop56_invalid_level(self):
+        with pytest.raises(ValueError):
+            prop56_skew_probability_bound(4, 0)
