@@ -18,6 +18,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..interface import CubeRun
 from ..mapreduce.cluster import ClusterConfig
+from ..mapreduce.faults import FaultPlan, RetryPolicy
 from ..mapreduce.metrics import RunMetrics
 from ..relation.relation import Relation
 
@@ -37,6 +38,13 @@ METRICS: Dict[str, Callable[[RunMetrics], float]] = {
     "reducer_balance": lambda m: m.reducer_balance,
     "output_groups": lambda m: float(m.output_groups),
     "failed": lambda m: 1.0 if m.failed else 0.0,
+    # Fault-tolerance counters (repro.mapreduce.faults): how hard the
+    # framework had to work to keep the run alive.
+    "attempts": lambda m: float(m.attempts),
+    "killed_tasks": lambda m: float(m.killed_tasks),
+    "speculative_wins": lambda m: float(m.speculative_wins),
+    "recovered": lambda m: float(m.recovered),
+    "aborted": lambda m: 1.0 if m.aborted else 0.0,
 }
 
 
@@ -82,17 +90,22 @@ def run_algorithms(
     runs: Dict[str, CubeRun] = {}
     for name, algorithm in algorithms.items():
         runs[name] = algorithm.compute(relation)
-    if verify and len(runs) > 1:
-        names = list(runs)
-        reference_name = names[0]
-        reference = runs[reference_name].cube
-        for other in names[1:]:
-            if runs[other].cube != reference:
-                problems = reference.diff(runs[other].cube, limit=5)
-                raise VerificationError(
-                    f"{other} disagrees with {reference_name} on "
-                    f"{relation.name}: {problems}"
-                )
+    if verify:
+        # Aborted runs have no output to compare — they are reported as
+        # stuck, exactly how Figure 6a shows Hive's missing data points.
+        completed = [
+            name for name, run in runs.items() if not run.metrics.aborted
+        ]
+        if len(completed) > 1:
+            reference_name = completed[0]
+            reference = runs[reference_name].cube
+            for other in completed[1:]:
+                if runs[other].cube != reference:
+                    problems = reference.diff(runs[other].cube, limit=5)
+                    raise VerificationError(
+                        f"{other} disagrees with {reference_name} on "
+                        f"{relation.name}: {problems}"
+                    )
     return runs
 
 
@@ -142,6 +155,8 @@ def paper_cluster(
     num_rows: int,
     num_machines: int = 20,
     object_overhead: int = 4,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> ClusterConfig:
     """The benchmark cluster: 20 machines, JVM-overhead-calibrated memory.
 
@@ -157,7 +172,12 @@ def paper_cluster(
     skew/memory threshold exactly when ``p`` passes ~1/4-1/3.
     """
     memory = max(16, num_rows // (object_overhead * num_machines))
-    return ClusterConfig(num_machines=num_machines, memory_records=memory)
+    return ClusterConfig(
+        num_machines=num_machines,
+        memory_records=memory,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy or RetryPolicy(),
+    )
 
 
 def subsample_sweep(

@@ -100,7 +100,10 @@ class HiveCube:
             reducer_factory=lambda: _HiveReducer(aggregate),
         )
         result = run_job(job, relation.split(k), self.cluster, m)
-        result.metrics.forced_failure = self._is_stuck(relation, m)
+        # An aborted job (retry budget exhausted) already failed and has no
+        # output; the stuck criterion only applies to completed runs.
+        if not result.metrics.aborted:
+            result.metrics.forced_failure = self._is_stuck(relation, m)
 
         metrics = RunMetrics(algorithm=self.name, jobs=[result.metrics])
         metrics.extras["hash_capacity"] = hash_capacity

@@ -69,24 +69,36 @@ class MRCube:
         # ---- round 1: sample and annotate the lattice ----------------------
         alpha = sampling_probability(n, k, m)
         shard_plan = self._sampling_round(relation, alpha, k, m, d, metrics)
+        if metrics.jobs[-1].aborted:
+            return self._aborted_run(relation, metrics)
         metrics.extras["unfriendly_cuboids"] = len(shard_plan)
 
         # ---- round 2: materialize ------------------------------------------
         final_pairs, shard_pairs = self._materialization_round(
             relation, shard_plan, k, m, d, metrics
         )
+        if metrics.jobs[-1].aborted:
+            return self._aborted_run(relation, metrics)
 
         # ---- round 3: post-aggregate value-partitioned cuboids -------------
         if shard_pairs:
             final_pairs.extend(
                 self._post_aggregation_round(shard_pairs, k, m, metrics)
             )
+            if metrics.jobs[-1].aborted:
+                return self._aborted_run(relation, metrics)
 
         cube = CubeResult(relation.schema)
         for (mask, values), value in final_pairs:
             cube.add(mask, values, value)
         metrics.output_groups = cube.num_groups
         return CubeRun(cube=cube, metrics=metrics)
+
+    def _aborted_run(
+        self, relation: Relation, metrics: RunMetrics
+    ) -> CubeRun:
+        """A round exhausted its retry budget: stop, with no output."""
+        return CubeRun(cube=CubeResult(relation.schema), metrics=metrics)
 
     # -- round 1 ----------------------------------------------------------------
 

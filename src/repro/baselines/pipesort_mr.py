@@ -64,6 +64,8 @@ class PipeSortMR:
         )
         result = run_job(job, relation.split(k), self.cluster, m)
         metrics.jobs.append(result.metrics)
+        if result.metrics.aborted:
+            return self._aborted_run(relation, metrics)
         level_states: Dict[Tuple[int, Tuple], object] = dict(result.output)
         all_states = dict(level_states)
 
@@ -97,6 +99,8 @@ class PipeSortMR:
             )
             result = run_job(job, _spread(parents, k), self.cluster, m)
             metrics.jobs.append(result.metrics)
+            if result.metrics.aborted:
+                return self._aborted_run(relation, metrics)
             level_states = dict(result.output)
             all_states.update(level_states)
 
@@ -106,6 +110,13 @@ class PipeSortMR:
         metrics.output_groups = cube.num_groups
         metrics.extras["rounds"] = len(metrics.jobs)
         return CubeRun(cube=cube, metrics=metrics)
+
+    def _aborted_run(
+        self, relation: Relation, metrics: RunMetrics
+    ) -> CubeRun:
+        """A level round exhausted its retry budget: stop, no output."""
+        metrics.extras["rounds"] = len(metrics.jobs)
+        return CubeRun(cube=CubeResult(relation.schema), metrics=metrics)
 
 
 def _single(aggregate: AggregateFunction, measure) -> object:

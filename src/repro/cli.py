@@ -12,7 +12,13 @@ Examples::
     python -m repro generate binomial --rows 20000 --skew 0.4 -o data.tsv
     python -m repro cube data.tsv --engine spcube --aggregate sum -o cube.tsv
     python -m repro compare zipf --rows 10000
+    python -m repro compare binomial --rows 10000 --fault-seed 7 --verify
     python -m repro sketch data.tsv
+
+The ``cube`` and ``compare`` commands take fault-injection knobs
+(``--fault-seed``, ``--crash-prob``, ``--straggle-prob``,
+``--max-task-attempts``) so task crashes, stragglers and the framework's
+recovery are reproducible from the command line.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from . import io as repro_io
 from .aggregates import get_aggregate
 from .analysis import paper_cluster, run_algorithms
 from .baselines import HiveCube, MRCube, NaiveCube, PipeSortMR
+from .mapreduce.faults import FaultPlan, RetryPolicy
 from .core import SPCube, build_exact_sketch
 from .datagen import (
     USAGOV_CUBE_DIMENSIONS,
@@ -66,9 +73,46 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _cluster_from_args(args, num_rows: int):
+    """Build the run's cluster, honouring the fault-injection knobs."""
+    try:
+        fault_plan = None
+        if args.fault_seed is not None:
+            fault_plan = FaultPlan(
+                seed=args.fault_seed,
+                crash_prob=args.crash_prob,
+                straggle_prob=args.straggle_prob,
+            )
+        retry_policy = RetryPolicy(max_attempts=args.max_task_attempts)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    return paper_cluster(
+        num_rows,
+        num_machines=args.machines,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+    )
+
+
+def _print_survival(metrics) -> None:
+    """One line on how the framework kept the run alive under faults."""
+    print(
+        f"fault recovery:  {metrics.attempts} attempts, "
+        f"{metrics.killed_tasks} killed, "
+        f"{metrics.speculative_wins} speculative wins, "
+        f"{metrics.recovered} tasks recovered"
+    )
+
+
+def _failure_reason(metrics) -> str:
+    if metrics.aborted:
+        return "aborted — a task exhausted its retry budget"
+    return "reducers out of memory"
+
+
 def cmd_cube(args) -> int:
     relation = repro_io.read_relation(args.input)
-    cluster = paper_cluster(len(relation), num_machines=args.machines)
+    cluster = _cluster_from_args(args, len(relation))
     engine_cls = ENGINES[args.engine]
     engine = engine_cls(cluster, get_aggregate(args.aggregate))
     run = engine.compute(relation)
@@ -81,33 +125,47 @@ def cmd_cube(args) -> int:
     print(f"c-groups:        {run.cube.num_groups}")
     print(f"simulated time:  {metrics.total_seconds:.1f} s")
     print(f"map output:      {metrics.intermediate_bytes / 1e6:.2f} MB")
+    if args.fault_seed is not None:
+        _print_survival(metrics)
     if metrics.failed:
-        print("status:          FAILED (reducers out of memory)")
+        print(f"status:          FAILED ({_failure_reason(metrics)})")
     return 0
 
 
 def cmd_compare(args) -> int:
     relation = _generate_dataset(args.dataset, args.rows, args.skew, args.seed)
-    cluster = paper_cluster(len(relation), num_machines=args.machines)
+    cluster = _cluster_from_args(args, len(relation))
     engines = {
         name: ENGINES[name](cluster, get_aggregate(args.aggregate))
         for name in args.engines
     }
     runs = run_algorithms(relation, engines, verify=args.verify)
 
+    with_faults = args.fault_seed is not None
     header = f"{'engine':12s}{'time(s)':>10s}{'traffic(MB)':>13s}{'status':>10s}"
+    if with_faults:
+        header += f"{'attempts':>10s}{'recovered':>11s}"
     print(f"dataset: {relation.name}\n")
     print(header)
     print("-" * len(header))
     for name, run in runs.items():
         metrics = run.metrics
-        status = "OOM" if metrics.failed else "ok"
-        print(
+        # "stuck" mirrors Figure 6a's reporting of runs that never finish.
+        if metrics.aborted:
+            status = "stuck"
+        elif metrics.failed:
+            status = "OOM"
+        else:
+            status = "ok"
+        line = (
             f"{name:12s}{metrics.total_seconds:10.1f}"
             f"{metrics.intermediate_bytes / 1e6:13.2f}{status:>10s}"
         )
+        if with_faults:
+            line += f"{metrics.attempts:>10d}{metrics.recovered:>11d}"
+        print(line)
     if args.verify:
-        print("\nall engines produced identical cubes")
+        print("\nall completed engines produced identical cubes")
     return 0
 
 
@@ -140,6 +198,28 @@ def cmd_sketch(args) -> int:
     return 0
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-injection knobs shared by the cube-computing commands."""
+    group = parser.add_argument_group("fault injection")
+    group.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="inject seeded task crashes/stragglers and DFS read drops; "
+             "the same seed reproduces the same faults",
+    )
+    group.add_argument(
+        "--crash-prob", type=float, default=0.1, metavar="P",
+        help="per-attempt crash probability when --fault-seed is given",
+    )
+    group.add_argument(
+        "--straggle-prob", type=float, default=0.1, metavar="P",
+        help="per-attempt straggler probability when --fault-seed is given",
+    )
+    group.add_argument(
+        "--max-task-attempts", type=int, default=4, metavar="N",
+        help="attempts per task before the job aborts (Hadoop default 4)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     cube.add_argument("--aggregate", default="count")
     cube.add_argument("--machines", type=int, default=20)
     cube.add_argument("-o", "--output")
+    _add_fault_args(cube)
     cube.set_defaults(fn=cmd_cube)
 
     compare = sub.add_parser("compare", help="run engines side by side")
@@ -183,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--verify", action="store_true",
                          help="cross-check that all cubes agree")
+    _add_fault_args(compare)
     compare.set_defaults(fn=cmd_compare)
 
     sketch = sub.add_parser("sketch", help="build and describe an SP-Sketch")

@@ -45,7 +45,7 @@ from ..aggregates.functions import AggregateFunction, Count
 from ..cubing.result import CubeResult
 from ..interface import CubeRun
 from ..mapreduce.cluster import ClusterConfig
-from ..mapreduce.dfs import DistributedFileSystem
+from ..mapreduce.dfs import DistributedFileSystem, ReplicaExhausted
 from ..mapreduce.engine import (
     Mapper,
     MapReduceJob,
@@ -99,7 +99,13 @@ class SPCube:
             raise ValueError("min_group_size must be >= 1")
         self.min_group_size = min_group_size
         # Explicit None check: an empty DFS is falsy (it has __len__).
-        self.dfs = dfs if dfs is not None else DistributedFileSystem()
+        # A DFS created here shares the cluster's fault plan, so injected
+        # replica failures hit the sketch broadcast between rounds.
+        self.dfs = (
+            dfs
+            if dfs is not None
+            else DistributedFileSystem(fault_plan=self.cluster.fault_plan)
+        )
 
     @property
     def name(self) -> str:
@@ -115,6 +121,13 @@ class SPCube:
         metrics = RunMetrics(algorithm=self.name)
 
         sketch = self._round_one(relation, n, k, m, metrics)
+        if metrics.jobs and metrics.jobs[-1].aborted:
+            # Round 1 exhausted a task's retry budget: the driver aborts
+            # the run before the cube round, as a real JobTracker would.
+            return CubeRun(
+                cube=CubeResult(relation.schema), metrics=metrics,
+                sketch=sketch,
+            )
         self.dfs.write(SKETCH_PATH, [sketch.to_payload()])
         metrics.extras["sketch_bytes"] = sketch.serialized_bytes()
         metrics.extras["num_skewed_groups"] = sketch.num_skewed
@@ -190,6 +203,18 @@ class SPCube:
     ) -> CubeResult:
         d = relation.schema.num_dimensions
         aggregate = self.aggregate
+
+        # Every round-2 machine caches the sketch from the DFS; the read
+        # transparently fails over across replicas, and a sketch with no
+        # live replica kills the run before the cube round starts.
+        try:
+            self.dfs.read(SKETCH_PATH)
+        except ReplicaExhausted as error:
+            metrics.fatal_error = f"sketch broadcast failed: {error}"
+            return CubeResult(relation.schema)
+        finally:
+            metrics.extras["dfs_read_retries"] = self.dfs.read_retries
+
         plan = self._plan_factory(sketch)
 
         def partitioner(key, num_reducers: int) -> int:
@@ -210,6 +235,8 @@ class SPCube:
         )
         result = run_job(job, relation.split(k), self.cluster, m)
         metrics.jobs.append(result.metrics)
+        if result.metrics.aborted:
+            return CubeResult(relation.schema)
 
         cube = CubeResult(relation.schema)
         for (mask, values), value in result.output:

@@ -2,7 +2,12 @@
 
 from .cluster import ClusterConfig
 from .costmodel import CostModel
-from .dfs import DistributedFileSystem, FileNotFound
+from .dfs import (
+    DEFAULT_REPLICATION,
+    DistributedFileSystem,
+    FileNotFound,
+    ReplicaExhausted,
+)
 from .engine import (
     DEFAULT_OOM_QUORUM_FRACTION,
     DEFAULT_OVERSIZED_DOMINANCE,
@@ -12,20 +17,29 @@ from .engine import (
     JobResult,
     Mapper,
     MapReduceJob,
+    PairFormatError,
     Reducer,
     TaskContext,
     hash_partitioner,
     run_job,
     stable_hash,
 )
+from .faults import NO_FAULTS, FaultPlan, FaultSpec, RetryPolicy
 from .metrics import JobMetrics, RunMetrics, TaskMetrics
 from .sizes import estimate_bytes, pair_bytes, relation_bytes
 
 __all__ = [
     "ClusterConfig",
     "CostModel",
+    "DEFAULT_REPLICATION",
     "DistributedFileSystem",
     "FileNotFound",
+    "ReplicaExhausted",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "NO_FAULTS",
+    "PairFormatError",
     "DEFAULT_OOM_QUORUM_FRACTION",
     "DEFAULT_OVERSIZED_DOMINANCE",
     "DEFAULT_VALUE_BUFFER_FRACTION",

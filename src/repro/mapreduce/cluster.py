@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from .costmodel import CostModel
+from .faults import FaultPlan, RetryPolicy
 
 
 @dataclass
@@ -39,6 +40,12 @@ class ClusterConfig:
         seconds; see :class:`~repro.mapreduce.costmodel.CostModel`.
     seed:
         Seed for any randomized behaviour tied to the cluster (sampling).
+    fault_plan:
+        Seeded fault injections for runs on this cluster (``None`` means
+        a healthy cluster); see :class:`~repro.mapreduce.faults.FaultPlan`.
+    retry_policy:
+        How the framework recovers from injected task failures; see
+        :class:`~repro.mapreduce.faults.RetryPolicy`.
     """
 
     num_machines: int = 20
@@ -46,6 +53,8 @@ class ClusterConfig:
     memory_slack: float = 2.0
     cost_model: CostModel = field(default_factory=CostModel)
     seed: int = 0x5BC
+    fault_plan: Optional[FaultPlan] = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.num_machines <= 0:
@@ -73,4 +82,6 @@ class ClusterConfig:
             memory_slack=self.memory_slack,
             cost_model=self.cost_model,
             seed=self.seed,
+            fault_plan=self.fault_plan,
+            retry_policy=self.retry_policy,
         )

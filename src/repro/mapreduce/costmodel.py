@@ -54,6 +54,13 @@ class CostModel:
     spill_record_seconds: float = 6.0e-6
     #: Seconds per byte written to the DFS as final output.
     output_byte_seconds: float = 1.0e-8
+    #: Seconds for the JobTracker to notice a dead task (heartbeat
+    #: timeout) before scheduling its re-execution.  A framework
+    #: constant, like ``round_startup_seconds`` — not scaled.
+    crash_detection_seconds: float = 10.0
+    #: Seconds between an attempt being flagged as a straggler and its
+    #: speculative backup copy starting on another machine.
+    speculation_launch_seconds: float = 2.5
 
     def map_task_seconds(self, cpu_ops: int, output_bytes: int) -> float:
         """Simulated duration of one map task."""
@@ -68,6 +75,22 @@ class CostModel:
             self.record_scale
             * max_reducer_input_bytes
             * self.shuffle_byte_seconds
+        )
+
+    def retry_overhead_seconds(
+        self, failed_attempt_seconds: float, backoff_seconds: float
+    ) -> float:
+        """Simulated time a failed attempt adds to its task's chain.
+
+        The attempt's own runtime is lost work, the framework takes the
+        heartbeat timeout to notice the death, and the scheduler then
+        waits the retry policy's backoff before launching the next
+        attempt.
+        """
+        return (
+            failed_attempt_seconds
+            + self.crash_detection_seconds
+            + backoff_seconds
         )
 
     def reduce_task_seconds(

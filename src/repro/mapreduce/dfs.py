@@ -5,24 +5,52 @@ is read and to which the cube (and the SP-Sketch, between rounds) is
 written.  This module provides exactly that contract: named files holding
 record lists, with byte accounting so broadcast artifacts like the sketch
 can be measured the way the paper measures them (Figure 5c, 6c).
+
+Like HDFS, every file is stored with ``replication`` copies.  When a
+:class:`~repro.mapreduce.faults.FaultPlan` is attached, a read may find a
+replica dead (a ``read-drop`` fault) and transparently retries against the
+next replica — the recovery every real DFS client performs.  Only when
+*every* replica fails does the read raise :class:`ReplicaExhausted`.
+``read`` always returns a fresh copy of the file's records, so callers can
+never mutate DFS state through an aliased return value.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
+from .faults import FaultPlan
 from .sizes import estimate_bytes
+
+#: HDFS's default replication factor.
+DEFAULT_REPLICATION = 3
 
 
 class FileNotFound(KeyError):
     """Raised when reading a path that was never written."""
 
 
+class ReplicaExhausted(IOError):
+    """Raised when every replica of a path failed to serve a read."""
+
+
 class DistributedFileSystem:
     """Named record files shared by all simulated machines."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        replication: int = DEFAULT_REPLICATION,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
         self._files: Dict[str, List] = {}
+        self.replication = replication
+        self.fault_plan = fault_plan
+        #: Dropped replica reads that were recovered by the next replica.
+        self.read_retries = 0
+        #: Reads that exhausted every replica.
+        self.failed_reads = 0
 
     def write(self, path: str, records: Iterable) -> int:
         """Store ``records`` under ``path``; returns the record count."""
@@ -37,11 +65,30 @@ class DistributedFileSystem:
         return len(materialized)
 
     def read(self, path: str) -> List:
-        """The records of ``path``; raises :class:`FileNotFound` if absent."""
+        """A copy of the records of ``path``.
+
+        Raises :class:`FileNotFound` if the path was never written and
+        :class:`ReplicaExhausted` when the fault plan kills the read on
+        all ``replication`` replicas.
+        """
         try:
-            return self._files[path]
+            records = self._files[path]
         except KeyError:
             raise FileNotFound(path) from None
+
+        plan = self.fault_plan
+        if plan is not None and not plan.is_empty:
+            for replica in range(self.replication):
+                if not plan.drops_read(path, replica):
+                    # ``replica`` dead copies were skipped to get here.
+                    self.read_retries += replica
+                    break
+            else:
+                self.failed_reads += 1
+                raise ReplicaExhausted(
+                    f"{path}: all {self.replication} replicas failed"
+                )
+        return list(records)
 
     def exists(self, path: str) -> bool:
         return path in self._files

@@ -19,6 +19,29 @@ distributed data flow:
 
 The engine returns the reduce output plus a :class:`JobMetrics` with all the
 counters the paper's figures are built from.
+
+**Fault tolerance.**  When the cluster carries a
+:class:`~repro.mapreduce.faults.FaultPlan`, every task runs as a chain of
+attempts governed by the cluster's
+:class:`~repro.mapreduce.faults.RetryPolicy`:
+
+* a crashed attempt's output is discarded and the task re-runs from its
+  input chunk with a **fresh mapper/reducer instance** (so ``setup``/
+  ``close`` state is rebuilt per attempt — map-side partial aggregates
+  are flushed exactly once, by the winning attempt);
+* a straggling attempt whose slowdown reaches the policy's threshold gets
+  a speculative backup copy; the first finisher wins, the loser is killed,
+  and only the winner's output is kept;
+* failed attempts charge their lost runtime, the framework's crash
+  detection delay, and the scheduler's exponential backoff to the task's
+  chain, so phase times remain the max over *successful* attempt chains;
+* a task that exhausts ``max_attempts`` aborts the job: ``run_job``
+  returns normally with empty output and ``JobMetrics.aborted`` set —
+  never an exception.
+
+Injected faults may only change the simulated clock and the fault
+counters; the data flow (and therefore the cube) is bit-identical to a
+fault-free run unless the job aborts.
 """
 
 from __future__ import annotations
@@ -36,10 +59,21 @@ from typing import (
 )
 
 from .cluster import ClusterConfig
+from .costmodel import CostModel
+from .faults import NO_FAULTS, FaultPlan, RetryPolicy
 from .metrics import JobMetrics, TaskMetrics
 from .sizes import estimate_bytes, pair_bytes
 
 Pair = Tuple[object, object]
+
+
+class PairFormatError(TypeError):
+    """User code emitted something that is not a ``(key, value)`` pair.
+
+    Subclasses :class:`TypeError` so callers that caught the old opaque
+    unpack error keep working, but the message names the job, phase, task
+    and the offending record.
+    """
 
 #: Fraction of a machine's physical memory that one key-group's buffered
 #: values may occupy before the group counts as *oversized*.  Hadoop-era
@@ -209,6 +243,82 @@ class JobResult:
     reducer_outputs: List[List[Pair]] = field(default_factory=list)
 
 
+def _unpack_pair(item, job_name: str, phase: str, machine: int) -> Pair:
+    """Unpack an emitted item, raising a named error when it is no pair."""
+    try:
+        key, value = item
+    except (TypeError, ValueError):
+        raise PairFormatError(
+            f"job {job_name!r}: {phase} task {machine} emitted {item!r}; "
+            "mappers, combiners and reducers must yield (key, value) pairs"
+        ) from None
+    return key, value
+
+
+def _run_attempts(
+    attempt_fn: Callable[[], Tuple[TaskMetrics, object]],
+    *,
+    job_name: str,
+    phase: str,
+    machine: int,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    cost: CostModel,
+    metrics: JobMetrics,
+):
+    """Drive one logical task through crash-retry and speculation.
+
+    ``attempt_fn`` executes one full attempt from the task's input and
+    returns ``(task, payload)`` with ``task.seconds`` set to the attempt's
+    nominal (fault-free) runtime.  Returns ``(task, payload)`` for the
+    winning attempt — ``task.seconds`` then covers the whole chain of
+    failed attempts, detection delays, backoffs and the winner — or
+    ``(None, chain_seconds)`` when the retry budget is exhausted.
+    """
+    chain_seconds = 0.0
+    for attempt in range(retry.max_attempts):
+        task, payload = attempt_fn()
+        task.attempt = attempt
+        metrics.attempts += 1
+        nominal = task.seconds
+
+        if faults.crashes(job_name, phase, machine, attempt):
+            # The attempt dies and its output is discarded; the chain pays
+            # for the lost work, the heartbeat timeout, and the backoff.
+            task.killed = True
+            chain_seconds += cost.retry_overhead_seconds(
+                nominal, retry.backoff_seconds(attempt + 1)
+            )
+            metrics.killed_tasks += 1
+            metrics.killed_attempts.append(task)
+            continue
+
+        seconds = nominal * faults.slowdown_factor(
+            job_name, phase, machine, attempt
+        )
+        if (
+            retry.speculation_enabled
+            and nominal > 0.0
+            and seconds >= retry.speculation_threshold * nominal
+        ):
+            # Speculative execution: a backup copy starts after the
+            # framework's detection delay; first finisher wins, the loser
+            # is killed, and only the winner's (identical) output is kept.
+            backup_seconds = cost.speculation_launch_seconds + nominal
+            metrics.attempts += 1
+            metrics.killed_tasks += 1
+            if backup_seconds < seconds:
+                seconds = backup_seconds
+                task.speculative = True
+                metrics.speculative_wins += 1
+
+        task.seconds = chain_seconds + seconds
+        if attempt > 0 or task.speculative:
+            metrics.recovered += 1
+        return task, payload
+    return None, chain_seconds
+
+
 def run_job(
     job: MapReduceJob,
     input_chunks: Sequence[Sequence],
@@ -224,11 +334,13 @@ def run_job(
     input_chunks:
         One record sequence per map task (``len(input_chunks)`` map tasks).
     cluster:
-        Cluster shape and cost model.
+        Cluster shape, cost model, and fault plan / retry policy.
     memory_records:
         ``m``, the per-machine memory in records for this run.
     """
     cost = cluster.cost_model
+    faults = cluster.fault_plan or NO_FAULTS
+    retry = cluster.retry_policy or RetryPolicy()
     num_reducers = job.num_reducers or cluster.num_machines
     metrics = JobMetrics(
         name=job.name,
@@ -240,10 +352,14 @@ def run_job(
     reducer_bytes = [0] * num_reducers
     # Partitioners must be pure functions of the key (as in Hadoop), so the
     # routing decision and the key's serialized size are cached per key —
-    # skewed workloads re-emit the same keys millions of times.
+    # skewed workloads re-emit the same keys millions of times.  The cache
+    # survives crashed attempts: routing is attempt-independent.
     key_cache: Dict[object, Tuple[int, int]] = {}
+    dead_chain_seconds = 0.0
 
-    for machine, chunk in enumerate(input_chunks):
+    def map_attempt(machine: int, chunk) -> Tuple[TaskMetrics, List]:
+        """One full execution of a map task, buffered locally so a crashed
+        attempt contributes nothing to the shuffle."""
         task = TaskMetrics(machine=machine)
         context = TaskContext(machine, cluster.num_machines, memory_records)
         mapper = job.mapper_factory()
@@ -258,9 +374,13 @@ def run_job(
             buffered.append(pair)
 
         if job.combiner is not None:
-            buffered = _apply_combiner(job.combiner, buffered, context)
+            buffered = _apply_combiner(
+                job.combiner, buffered, context, job.name, machine
+            )
 
-        for key, value in buffered:
+        routed: List[Tuple[int, Pair, int]] = []
+        for item in buffered:
+            key, value = _unpack_pair(item, job.name, "map", machine)
             info = key_cache.get(key)
             if info is None:
                 target = job.partitioner(key, num_reducers)
@@ -275,18 +395,46 @@ def run_job(
             size = key_bytes + estimate_bytes(value)
             task.records_out += 1
             task.bytes_out += size
-            reducer_buckets[target].append((key, value))
-            reducer_bytes[target] += size
+            routed.append((target, (key, value), size))
 
         task.cpu_ops = task.records_in + task.records_out + context.extra_cpu
         task.seconds = cost.map_task_seconds(task.cpu_ops, task.bytes_out)
+        return task, routed
+
+    for machine, chunk in enumerate(input_chunks):
+        task, payload = _run_attempts(
+            lambda m=machine, c=chunk: map_attempt(m, c),
+            job_name=job.name,
+            phase="map",
+            machine=machine,
+            faults=faults,
+            retry=retry,
+            cost=cost,
+            metrics=metrics,
+        )
+        if task is None:
+            metrics.aborted = True
+            metrics.abort_reason = (
+                f"map task {machine} exhausted "
+                f"{retry.max_attempts} attempts"
+            )
+            dead_chain_seconds = payload
+            break
+        for target, pair, size in payload:
+            reducer_buckets[target].append(pair)
+            reducer_bytes[target] += size
         metrics.map_tasks.append(task)
         metrics.map_output_bytes += task.bytes_out
         metrics.map_output_records += task.records_out
 
     metrics.map_phase_seconds = cost.round_startup_seconds + max(
-        (t.seconds for t in metrics.map_tasks), default=0.0
+        max((t.seconds for t in metrics.map_tasks), default=0.0),
+        dead_chain_seconds,
     )
+
+    if metrics.aborted:
+        metrics.total_seconds = metrics.map_phase_seconds
+        return JobResult(output=[], metrics=metrics, reducer_outputs=[])
 
     # ---- shuffle ----------------------------------------------------------
     metrics.shuffle_seconds = cost.shuffle_seconds(
@@ -297,8 +445,9 @@ def run_job(
     physical = cluster.physical_memory(memory_records)
     output: List[Pair] = []
     reducer_outputs: List[List[Pair]] = []
+    dead_chain_seconds = 0.0
 
-    for machine, bucket in enumerate(reducer_buckets):
+    def reduce_attempt(machine: int, bucket) -> Tuple[TaskMetrics, Tuple]:
         task = TaskMetrics(machine=machine)
         context = TaskContext(machine, cluster.num_machines, memory_records)
         reducer = job.reducer_factory()
@@ -314,6 +463,7 @@ def run_job(
             (len(values) for values in grouped.values()), default=0
         )
         task.spilled_records = max(0, task.records_in - physical)
+        oom_flagged = False
         if job.value_buffer_fraction is not None:
             buffer_limit = job.value_buffer_fraction * physical
             oversized_volume = sum(
@@ -321,18 +471,21 @@ def run_job(
                 for values in grouped.values()
                 if len(values) > buffer_limit
             )
-            if (
+            oom_flagged = (
                 oversized_volume
                 > job.oversized_dominance * task.records_in
-            ):
-                metrics.oom_reducers.append(machine)
+            )
 
         reducer_output: List[Pair] = []
         for key in _ordered_keys(grouped):
-            for pair in reducer.reduce(key, grouped[key]):
-                reducer_output.append(pair)
-        for pair in reducer.close():
-            reducer_output.append(pair)
+            for item in reducer.reduce(key, grouped[key]):
+                reducer_output.append(
+                    _unpack_pair(item, job.name, "reduce", machine)
+                )
+        for item in reducer.close():
+            reducer_output.append(
+                _unpack_pair(item, job.name, "reduce", machine)
+            )
 
         for key, value in reducer_output:
             task.records_out += 1
@@ -344,18 +497,45 @@ def run_job(
         task.seconds = cost.reduce_task_seconds(
             task.cpu_ops, task.spilled_records, task.bytes_out
         )
+        return task, (reducer_output, oom_flagged)
+
+    for machine, bucket in enumerate(reducer_buckets):
+        task, payload = _run_attempts(
+            lambda m=machine, b=bucket: reduce_attempt(m, b),
+            job_name=job.name,
+            phase="reduce",
+            machine=machine,
+            faults=faults,
+            retry=retry,
+            cost=cost,
+            metrics=metrics,
+        )
+        if task is None:
+            metrics.aborted = True
+            metrics.abort_reason = (
+                f"reduce task {machine} exhausted "
+                f"{retry.max_attempts} attempts"
+            )
+            dead_chain_seconds = payload
+            break
+        reducer_output, oom_flagged = payload
+        if oom_flagged:
+            metrics.oom_reducers.append(machine)
         metrics.reduce_tasks.append(task)
         output.extend(reducer_output)
         reducer_outputs.append(reducer_output)
 
     metrics.reduce_phase_seconds = cost.round_startup_seconds + max(
-        (t.seconds for t in metrics.reduce_tasks), default=0.0
+        max((t.seconds for t in metrics.reduce_tasks), default=0.0),
+        dead_chain_seconds,
     )
     metrics.total_seconds = (
         metrics.map_phase_seconds
         + metrics.shuffle_seconds
         + metrics.reduce_phase_seconds
     )
+    if metrics.aborted:
+        return JobResult(output=[], metrics=metrics, reducer_outputs=[])
     return JobResult(
         output=output, metrics=metrics, reducer_outputs=reducer_outputs
     )
@@ -365,13 +545,19 @@ def _apply_combiner(
     combiner: Callable[[object, List], Iterable[Pair]],
     pairs: List[Pair],
     context: TaskContext,
+    job_name: str,
+    machine: int,
 ) -> List[Pair]:
     """Group a map task's buffer by key and fold it through the combiner."""
     grouped: Dict[object, List] = {}
-    for key, value in pairs:
+    for item in pairs:
+        key, value = _unpack_pair(item, job_name, "map", machine)
         grouped.setdefault(key, []).append(value)
     context.add_cpu(len(pairs))
     combined: List[Pair] = []
     for key in _ordered_keys(grouped):
-        combined.extend(combiner(key, grouped[key]))
+        for item in combiner(key, grouped[key]):
+            combined.append(
+                _unpack_pair(item, job_name, "combiner", machine)
+            )
     return combined

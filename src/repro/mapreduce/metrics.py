@@ -26,6 +26,15 @@ class TaskMetrics:
     spilled_records: int = 0
     peak_group_records: int = 0
     seconds: float = 0.0
+    #: Attempt index this record describes (0 = first execution).  For a
+    #: task's winning attempt, ``seconds`` covers the whole chain: every
+    #: crashed attempt, detection and backoff, then the winner's runtime.
+    attempt: int = 0
+    #: True when this attempt was killed (crash injection, or the losing
+    #: copy of a speculative pair).
+    killed: bool = False
+    #: True when the task was completed by a speculative backup copy.
+    speculative: bool = False
 
 
 @dataclass
@@ -53,6 +62,22 @@ class JobMetrics:
     #: Set by an algorithm's own failure model (see HiveCube) when the job
     #: is stuck regardless of per-reducer flags.
     forced_failure: bool = False
+    #: Fault-tolerance counters (see ``repro.mapreduce.faults``): total
+    #: task attempts launched (first executions, retries, and speculative
+    #: backups), attempts killed (crashes plus losing speculative copies),
+    #: tasks won by a speculative backup, and tasks that succeeded only
+    #: after at least one failure or via a backup copy.
+    attempts: int = 0
+    killed_tasks: int = 0
+    speculative_wins: int = 0
+    recovered: int = 0
+    #: Per-attempt records of every killed attempt (the winning attempt of
+    #: each task lives in ``map_tasks``/``reduce_tasks``).
+    killed_attempts: List[TaskMetrics] = field(default_factory=list)
+    #: True when some task exhausted its retry budget and the framework
+    #: aborted the job — the run produced no output.
+    aborted: bool = False
+    abort_reason: Optional[str] = None
 
     @property
     def avg_map_seconds(self) -> float:
@@ -85,7 +110,8 @@ class JobMetrics:
     @property
     def failed(self) -> bool:
         return (
-            self.forced_failure
+            self.aborted
+            or self.forced_failure
             or len(self.oom_reducers) >= self.oom_quorum
         )
 
@@ -102,6 +128,9 @@ class RunMetrics:
     jobs: List[JobMetrics] = field(default_factory=list)
     extras: Dict[str, float] = field(default_factory=dict)
     output_groups: int = 0
+    #: Set when the run died outside any job (e.g. a DFS broadcast read
+    #: exhausted every replica); counts as a failure.
+    fatal_error: Optional[str] = None
 
     @property
     def total_seconds(self) -> float:
@@ -131,8 +160,40 @@ class RunMetrics:
 
     @property
     def failed(self) -> bool:
-        """True when any round had OOM-flagged reducers (Hive at p>=0.4)."""
-        return any(job.failed for job in self.jobs)
+        """True when the run got stuck: OOM-flagged reducers (Hive at
+        p>=0.4), an aborted round (retry budget exhausted), or a fatal
+        out-of-job error."""
+        return self.fatal_error is not None or any(
+            job.failed for job in self.jobs
+        )
+
+    @property
+    def aborted(self) -> bool:
+        """True when a round aborted or the run died outside any job —
+        unlike an OOM flag, an aborted run has no trustworthy output."""
+        return self.fatal_error is not None or any(
+            job.aborted for job in self.jobs
+        )
+
+    @property
+    def attempts(self) -> int:
+        """Total task attempts across rounds (retries and backups incl.)."""
+        return sum(job.attempts for job in self.jobs)
+
+    @property
+    def killed_tasks(self) -> int:
+        """Attempts killed across rounds (crashes + losing backups)."""
+        return sum(job.killed_tasks for job in self.jobs)
+
+    @property
+    def speculative_wins(self) -> int:
+        """Tasks completed by a speculative backup copy, across rounds."""
+        return sum(job.speculative_wins for job in self.jobs)
+
+    @property
+    def recovered(self) -> int:
+        """Tasks that failed at least once but ultimately succeeded."""
+        return sum(job.recovered for job in self.jobs)
 
     @property
     def reducer_balance(self) -> float:

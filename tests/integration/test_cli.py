@@ -66,6 +66,48 @@ class TestCompare:
         assert "identical cubes" in out
 
 
+class TestFaultKnobs:
+    def test_cube_with_fault_seed_reports_recovery(self, tmp_path, capsys):
+        data = str(tmp_path / "data.tsv")
+        main(["generate", "binomial", "--rows", "300", "-o", data])
+        code = main(
+            ["cube", data, "--machines", "4", "--fault-seed", "3",
+             "--max-task-attempts", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault recovery" in out
+        assert "attempts" in out
+
+    def test_cube_fault_free_by_default(self, tmp_path, capsys):
+        data = str(tmp_path / "data.tsv")
+        main(["generate", "binomial", "--rows", "200", "-o", data])
+        assert main(["cube", data, "--machines", "3"]) == 0
+        assert "fault recovery" not in capsys.readouterr().out
+
+    def test_compare_with_faults_keeps_cubes_identical(self, capsys):
+        code = main(
+            ["compare", "binomial", "--rows", "400", "--machines", "4",
+             "--engines", "spcube", "naive", "--fault-seed", "3",
+             "--verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attempts" in out and "recovered" in out
+        assert "identical cubes" in out
+
+    def test_crashy_cluster_reports_stuck_not_traceback(self, capsys):
+        # crash probability 1.0: every attempt of every task dies, every
+        # engine aborts — the CLI must report it, not blow up.
+        code = main(
+            ["compare", "binomial", "--rows", "200", "--machines", "3",
+             "--engines", "spcube", "naive", "--fault-seed", "1",
+             "--crash-prob", "1.0", "--straggle-prob", "0.0"]
+        )
+        assert code == 0
+        assert "stuck" in capsys.readouterr().out
+
+
 class TestSketch:
     def test_sketch_describes_and_writes(self, tmp_path, capsys):
         data = str(tmp_path / "data.tsv")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mapreduce import ClusterConfig
+from repro.mapreduce import ClusterConfig, FaultPlan, RetryPolicy
 
 
 class TestValidation:
@@ -51,3 +51,18 @@ class TestMemoryDerivation:
         assert pinned.num_machines == 6
         assert pinned.seed == 99
         assert base.memory_records is None
+
+    def test_with_memory_carries_fault_configuration(self):
+        plan = FaultPlan(seed=5, crash_prob=0.2)
+        policy = RetryPolicy(max_attempts=2)
+        base = ClusterConfig(fault_plan=plan, retry_policy=policy)
+        pinned = base.with_memory(50)
+        assert pinned.fault_plan is plan
+        assert pinned.retry_policy is policy
+
+
+class TestFaultDefaults:
+    def test_no_faults_by_default(self):
+        cluster = ClusterConfig()
+        assert cluster.fault_plan is None
+        assert cluster.retry_policy.max_attempts == 4

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.mapreduce import DistributedFileSystem, FileNotFound
+from repro.mapreduce import (
+    DEFAULT_REPLICATION,
+    DistributedFileSystem,
+    FaultPlan,
+    FaultSpec,
+    FileNotFound,
+    ReplicaExhausted,
+)
 
 
 @pytest.fixture
@@ -55,6 +62,59 @@ class TestNamespace:
         dfs.write("a", [])
         dfs.write("b", [])
         assert len(dfs) == 2
+
+
+class TestAliasing:
+    def test_read_returns_a_copy(self, dfs):
+        """Mutating a read's return value must not corrupt the stored file."""
+        dfs.write("cube/out", [1, 2, 3])
+        leaked = dfs.read("cube/out")
+        leaked.append(99)
+        leaked[0] = -1
+        assert dfs.read("cube/out") == [1, 2, 3]
+
+    def test_reads_are_independent(self, dfs):
+        dfs.write("p", [{"a": 1}])
+        assert dfs.read("p") is not dfs.read("p")
+
+
+class TestReplication:
+    def test_default_replication_matches_hdfs(self, dfs):
+        assert dfs.replication == DEFAULT_REPLICATION == 3
+
+    def test_replication_validated(self):
+        with pytest.raises(ValueError):
+            DistributedFileSystem(replication=0)
+
+    def test_failover_to_surviving_replica(self):
+        plan = FaultPlan([FaultSpec("read-drop", path="data", replica=0)])
+        dfs = DistributedFileSystem(fault_plan=plan)
+        dfs.write("data", [1, 2])
+        assert dfs.read("data") == [1, 2]  # replica 1 serves the read
+        assert dfs.read_retries == 1
+        assert dfs.failed_reads == 0
+
+    def test_all_replicas_dead_raises(self):
+        plan = FaultPlan([FaultSpec("read-drop", path="data")])
+        dfs = DistributedFileSystem(fault_plan=plan)
+        dfs.write("data", [1])
+        with pytest.raises(ReplicaExhausted):
+            dfs.read("data")
+        assert dfs.failed_reads == 1
+        assert dfs.read_retries == 0  # nothing was recovered
+
+    def test_unfaulted_paths_unaffected(self):
+        plan = FaultPlan([FaultSpec("read-drop", path="data")])
+        dfs = DistributedFileSystem(fault_plan=plan)
+        dfs.write("other", [7])
+        assert dfs.read("other") == [7]
+        assert dfs.read_retries == 0
+
+    def test_missing_path_beats_replica_faults(self):
+        plan = FaultPlan([FaultSpec("read-drop", path="nope")])
+        dfs = DistributedFileSystem(fault_plan=plan)
+        with pytest.raises(FileNotFound):
+            dfs.read("nope")
 
 
 class TestSizing:

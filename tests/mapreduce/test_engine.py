@@ -295,6 +295,105 @@ class TestContext:
         run_job(MapReduceJob("cnt", Counting, Null), [[1, 2]], cluster, 10)
 
 
+class TestCloseThroughCombiner:
+    def test_close_emitted_pairs_are_combined(self, cluster):
+        """Pairs flushed from close() must pass through the combiner with
+        the map()-emitted ones — the SP-Cube partial-aggregate path."""
+
+        class PartialMapper(Mapper):
+            def setup(self, context):
+                super().setup(context)
+                self.pending = 0
+
+            def map(self, record):
+                self.pending += record
+                yield "k", record  # one live pair per record...
+
+            def close(self):
+                yield "k", self.pending  # ...plus one flushed partial
+
+        class SumReducer(Reducer):
+            def reduce(self, key, values):
+                yield key, sum(values)
+
+        def combiner(key, values):
+            yield key, sum(values)
+
+        job = MapReduceJob(
+            "flush",
+            PartialMapper,
+            SumReducer,
+            combiner=combiner,
+            num_reducers=1,
+        )
+        result = run_job(job, [[1, 2], [4]], cluster, 10)
+        # Each mapper's map() pairs AND its close() partial collapse into
+        # a single combined record per map task.
+        assert result.metrics.map_output_records == 2
+        assert result.output == [("k", 14)]
+
+
+class TestOOMQuorumFloor:
+    def test_quorum_has_absolute_floor_of_two(self, cluster):
+        # With 2 reducers and the default 25% fraction the proportional
+        # quorum would be zero; the floor keeps it at 2.
+        job = word_count_job(num_reducers=2)
+        result = run_job(job, [["a"]], cluster, 10)
+        assert result.metrics.oom_quorum == 2
+
+    def test_fraction_takes_over_on_wide_jobs(self, cluster):
+        job = word_count_job(num_reducers=12)
+        result = run_job(job, [["a"]], cluster, 10)
+        assert result.metrics.oom_quorum == 3
+
+    def test_single_flagged_reducer_below_floor_survives(self, cluster):
+        chunks = [["a " * 100]]
+        job = word_count_job(num_reducers=2, value_buffer_fraction=0.5)
+        result = run_job(job, chunks, cluster, 4)
+        assert len(result.metrics.oom_reducers) == 1
+        assert not result.metrics.failed
+
+
+class TestStableHash:
+    KEYS = [
+        "word",
+        "",
+        0,
+        -17,
+        12345678901234567890,
+        (3, ("a", "b")),
+        (0b101, ("x", None)),
+        None,
+        True,
+        ("nested", (1, (2, (3,)))),
+    ]
+
+    def test_deterministic_across_calls(self):
+        for key in self.KEYS:
+            assert stable_hash(key) == stable_hash(key)
+
+    def test_equal_values_hash_equal(self):
+        # Separately constructed but equal objects must agree — reducer
+        # routing depends on it across map tasks and attempts.
+        assert stable_hash((3, ("a", "b"))) == stable_hash(
+            (1 + 2, tuple("ab"))
+        )
+        assert stable_hash("ab" + "c") == stable_hash("abc")
+
+    def test_known_values_pinned(self):
+        # CRC32-of-repr is process- and run-independent; pin a couple of
+        # values so an accidental change to the scheme is caught.
+        import zlib
+
+        for key in self.KEYS:
+            assert stable_hash(key) == zlib.crc32(repr(key).encode())
+
+    def test_partitioner_in_range_for_all_key_types(self):
+        for key in self.KEYS:
+            for num_reducers in (1, 3, 7):
+                assert 0 <= hash_partitioner(key, num_reducers) < num_reducers
+
+
 class TestMixedKeyOrdering:
     def test_uncomparable_keys_fall_back_to_repr(self, cluster):
         def map_fn(record):
