@@ -13,7 +13,7 @@ Metric accessors are by name so benches and reports stay declarative; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..interface import CubeRun
@@ -116,6 +116,9 @@ def run_sweep(
     factories: Dict[str, AlgorithmFactory],
     cluster: Optional[ClusterConfig] = None,
     verify: bool = False,
+    fault_seed: Optional[int] = None,
+    crash_prob: float = 0.1,
+    straggle_prob: float = 0.1,
 ) -> SweepResult:
     """Execute a full sweep: one point per workload, one run per factory.
 
@@ -133,8 +136,24 @@ def run_sweep(
     verify:
         Cross-check that all algorithms agree at every point (use on
         small workloads; it compares full cubes).
+    fault_seed, crash_prob, straggle_prob:
+        When ``fault_seed`` is given, every run executes under a seeded
+        :class:`~repro.mapreduce.faults.FaultPlan` with these per-attempt
+        probabilities — the same knobs the CLI exposes — so a sweep can
+        chart recovery cost versus fault pressure.  The seeded flips are
+        pure functions of task identity, so all algorithms at a point
+        face the same fault schedule.
     """
     cluster = cluster or ClusterConfig()
+    if fault_seed is not None:
+        cluster = replace(
+            cluster,
+            fault_plan=FaultPlan(
+                seed=fault_seed,
+                crash_prob=crash_prob,
+                straggle_prob=straggle_prob,
+            ),
+        )
     sweep = SweepResult(name=name, x_label=x_label)
     sweep.algorithms = list(factories)
 
@@ -157,6 +176,7 @@ def paper_cluster(
     object_overhead: int = 4,
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    parallelism: Optional[int] = None,
 ) -> ClusterConfig:
     """The benchmark cluster: 20 machines, JVM-overhead-calibrated memory.
 
@@ -177,6 +197,7 @@ def paper_cluster(
         memory_records=memory,
         fault_plan=fault_plan,
         retry_policy=retry_policy or RetryPolicy(),
+        parallelism=parallelism,
     )
 
 

@@ -42,7 +42,13 @@ from ..aggregates.functions import AggregateFunction, Count
 from ..cubing.result import CubeResult
 from ..interface import CubeRun
 from ..mapreduce.cluster import ClusterConfig
-from ..mapreduce.engine import Mapper, MapReduceJob, Reducer, run_job
+from ..mapreduce.engine import (
+    Mapper,
+    MapReduceJob,
+    Reducer,
+    TaskFactory,
+    run_job,
+)
 from ..mapreduce.metrics import RunMetrics
 from ..relation.lattice import all_cuboids, full_mask, projector
 from ..relation.relation import Relation
@@ -91,13 +97,14 @@ class HiveCube:
 
         job = MapReduceJob(
             name="hive-cube",
-            mapper_factory=lambda: _HiveMapper(
+            mapper_factory=TaskFactory(
+                _HiveMapper,
                 d,
                 aggregate,
                 hash_capacity,
                 self.map_side_aggregation,
             ),
-            reducer_factory=lambda: _HiveReducer(aggregate),
+            reducer_factory=TaskFactory(_HiveReducer, aggregate),
         )
         result = run_job(job, relation.split(k), self.cluster, m)
         # An aborted job (retry budget exhausted) already failed and has no

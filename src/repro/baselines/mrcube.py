@@ -33,7 +33,13 @@ from ..aggregates.functions import AggregateFunction, Count
 from ..cubing.result import CubeResult
 from ..interface import CubeRun
 from ..mapreduce.cluster import ClusterConfig
-from ..mapreduce.engine import Mapper, MapReduceJob, Reducer, run_job
+from ..mapreduce.engine import (
+    Mapper,
+    MapReduceJob,
+    Reducer,
+    TaskFactory,
+    run_job,
+)
 from ..mapreduce.metrics import RunMetrics
 from ..relation.lattice import all_cuboids, project, projector
 from ..relation.relation import Relation
@@ -118,14 +124,17 @@ class MRCube:
 
         job = MapReduceJob(
             name="mrcube-sample",
-            mapper_factory=lambda: _SampleMapper(alpha, seed),
-            reducer_factory=lambda: _AnnotateReducer(
-                d, alpha, capacity, holder
+            mapper_factory=TaskFactory(_SampleMapper, alpha, seed),
+            reducer_factory=TaskFactory(
+                _AnnotateReducer, d, alpha, capacity, holder
             ),
             num_reducers=1,
             # The sample is O(m) w.h.p. (Prop 4.4) and is collected under a
             # single key by design; the value-buffer flag does not apply.
             value_buffer_fraction=None,
+            # The reducer returns the shard plan through ``holder``; that
+            # side channel pins the round to the driver process.
+            driver_state=True,
         )
         result = run_job(job, relation.split(k), self.cluster, m)
         metrics.jobs.append(result.metrics)
@@ -145,19 +154,13 @@ class MRCube:
     ) -> Tuple[List, List]:
         aggregate = self.aggregate
 
-        def combiner(key, values):
-            state = aggregate.create()
-            for value in values:
-                state = aggregate.merge(state, value)
-            yield key, state
-
         job = MapReduceJob(
             name="mrcube-materialize",
-            mapper_factory=lambda: _ExpandMapper(d, aggregate, shard_plan),
-            reducer_factory=lambda: _MaterializeReducer(
-                aggregate, shard_plan
+            mapper_factory=TaskFactory(_ExpandMapper, d, aggregate, shard_plan),
+            reducer_factory=TaskFactory(
+                _MaterializeReducer, aggregate, shard_plan
             ),
-            combiner=combiner,
+            combiner=_MergeCombiner(aggregate),
         )
         result = run_job(job, relation.split(k), self.cluster, m)
         metrics.jobs.append(result.metrics)
@@ -181,12 +184,10 @@ class MRCube:
         metrics: RunMetrics,
     ) -> List:
         aggregate = self.aggregate
-        job = MapReduceJob.from_functions(
+        job = MapReduceJob(
             name="mrcube-postagg",
-            map_fn=lambda record: [record],
-            reduce_fn=lambda key, states: [
-                (key, aggregate.finalize(_merge_all(aggregate, states)))
-            ],
+            mapper_factory=TaskFactory(_IdentityMapper),
+            reducer_factory=TaskFactory(_FinalizeReducer, aggregate),
         )
         chunks = _spread(shard_pairs, k)
         result = run_job(job, chunks, self.cluster, m)
@@ -301,6 +302,43 @@ class _MaterializeReducer(Reducer):
         else:
             mask, group_values = key
             yield (mask, group_values), aggregate.finalize(merged)
+
+
+class _MergeCombiner:
+    """Hadoop combiner merging per-key partial aggregate states; a
+    picklable callable so materialization tasks can run in workers."""
+
+    __slots__ = ("_aggregate",)
+
+    def __init__(self, aggregate: AggregateFunction):
+        self._aggregate = aggregate
+
+    def __call__(self, key, values):
+        yield key, _merge_all(self._aggregate, values)
+
+    def __getstate__(self):
+        return self._aggregate
+
+    def __setstate__(self, state):
+        self._aggregate = state
+
+
+class _IdentityMapper(Mapper):
+    """Round 3 map: shard records are already ``(key, state)`` pairs."""
+
+    def map(self, record):
+        yield record
+
+
+class _FinalizeReducer(Reducer):
+    """Round 3 reduce: merge shard states per group and finalize."""
+
+    def __init__(self, aggregate: AggregateFunction):
+        self._aggregate = aggregate
+
+    def reduce(self, key, states):
+        aggregate = self._aggregate
+        yield key, aggregate.finalize(_merge_all(aggregate, states))
 
 
 def _merge_all(aggregate: AggregateFunction, states) -> object:

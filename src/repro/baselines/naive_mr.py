@@ -26,7 +26,13 @@ from ..aggregates.functions import AggregateFunction, Count
 from ..cubing.result import CubeResult
 from ..interface import CubeRun
 from ..mapreduce.cluster import ClusterConfig
-from ..mapreduce.engine import Mapper, MapReduceJob, Reducer, run_job
+from ..mapreduce.engine import (
+    Mapper,
+    MapReduceJob,
+    Reducer,
+    TaskFactory,
+    run_job,
+)
 from ..mapreduce.metrics import RunMetrics
 from ..relation.lattice import all_cuboids, projector
 from ..relation.relation import Relation
@@ -57,19 +63,12 @@ class NaiveCube:
         d = relation.schema.num_dimensions
         aggregate = self.aggregate
 
-        combiner = None
-        if self.use_combiner:
-
-            def combiner(key, values):
-                state = aggregate.create()
-                for value in values:
-                    state = aggregate.add(state, value)
-                yield key, ("partial", state)
+        combiner = _PartialCombiner(aggregate) if self.use_combiner else None
 
         job = MapReduceJob(
             name="naive-cube",
-            mapper_factory=lambda: _NaiveMapper(d),
-            reducer_factory=lambda: _NaiveReducer(aggregate),
+            mapper_factory=TaskFactory(_NaiveMapper, d),
+            reducer_factory=TaskFactory(_NaiveReducer, aggregate),
             combiner=combiner,
         )
         result = run_job(job, relation.split(k), self.cluster, m)
@@ -80,6 +79,29 @@ class NaiveCube:
             cube.add(mask, values, value)
         metrics.output_groups = cube.num_groups
         return CubeRun(cube=cube, metrics=metrics)
+
+
+class _PartialCombiner:
+    """Hadoop combiner: fold a map task's raw measures per c-group into a
+    single tagged partial state (picklable, unlike the old closure)."""
+
+    __slots__ = ("_aggregate",)
+
+    def __init__(self, aggregate: AggregateFunction):
+        self._aggregate = aggregate
+
+    def __call__(self, key, values):
+        aggregate = self._aggregate
+        state = aggregate.create()
+        for value in values:
+            state = aggregate.add(state, value)
+        yield key, ("partial", state)
+
+    def __getstate__(self):
+        return self._aggregate
+
+    def __setstate__(self, state):
+        self._aggregate = state
 
 
 class _NaiveMapper(Mapper):

@@ -22,7 +22,13 @@ from ..cubing.pipesort import aggregation_tree
 from ..cubing.result import CubeResult
 from ..interface import CubeRun
 from ..mapreduce.cluster import ClusterConfig
-from ..mapreduce.engine import MapReduceJob, run_job
+from ..mapreduce.engine import (
+    Mapper,
+    MapReduceJob,
+    Reducer,
+    TaskFactory,
+    run_job,
+)
 from ..mapreduce.metrics import RunMetrics
 from ..relation.lattice import full_mask, mask_size, project
 from ..relation.relation import Relation
@@ -49,18 +55,13 @@ class PipeSortMR:
         m = self.cluster.derive_memory(n)
         d = relation.schema.num_dimensions
         aggregate = self.aggregate
-        top = full_mask(d)
         metrics = RunMetrics(algorithm=self.name)
 
         # Round 0: the finest cuboid from the raw relation.
-        job = MapReduceJob.from_functions(
+        job = MapReduceJob(
             name="pipesort-level-%d" % d,
-            map_fn=lambda row: [
-                ((top, project(row, top, d)), _single(aggregate, row[-1]))
-            ],
-            reduce_fn=lambda key, states: [
-                (key, _merge_all(aggregate, states))
-            ],
+            mapper_factory=TaskFactory(_BaseMapper, d, aggregate),
+            reducer_factory=TaskFactory(_MergeReducer, aggregate),
         )
         result = run_job(job, relation.split(k), self.cluster, m)
         metrics.jobs.append(result.metrics)
@@ -82,20 +83,10 @@ class PipeSortMR:
                 if mask_size(key[0]) == level + 1
             ]
 
-            def map_fn(record, _children=children_of, _d=d):
-                (parent_mask, parent_values), state = record
-                for child_mask in _children.get(parent_mask, ()):
-                    child_values = _reproject(
-                        parent_mask, parent_values, child_mask, _d
-                    )
-                    yield (child_mask, child_values), state
-
-            job = MapReduceJob.from_functions(
+            job = MapReduceJob(
                 name="pipesort-level-%d" % level,
-                map_fn=map_fn,
-                reduce_fn=lambda key, states: [
-                    (key, _merge_all(aggregate, states))
-                ],
+                mapper_factory=TaskFactory(_DeriveMapper, children_of, d),
+                reducer_factory=TaskFactory(_MergeReducer, aggregate),
             )
             result = run_job(job, _spread(parents, k), self.cluster, m)
             metrics.jobs.append(result.metrics)
@@ -117,6 +108,48 @@ class PipeSortMR:
         """A level round exhausted its retry budget: stop, no output."""
         metrics.extras["rounds"] = len(metrics.jobs)
         return CubeRun(cube=CubeResult(relation.schema), metrics=metrics)
+
+
+class _BaseMapper(Mapper):
+    """Round 0 map: project every raw row onto the finest cuboid."""
+
+    def __init__(self, d: int, aggregate: AggregateFunction):
+        self._d = d
+        self._top = full_mask(d)
+        self._aggregate = aggregate
+
+    def map(self, row):
+        top = self._top
+        yield (top, project(row, top, self._d)), _single(
+            self._aggregate, row[-1]
+        )
+
+
+class _DeriveMapper(Mapper):
+    """Level round map: derive each child cuboid's groups from a parent."""
+
+    def __init__(self, children_of: Dict[int, List[int]], d: int):
+        self._children_of = children_of
+        self._d = d
+
+    def map(self, record):
+        (parent_mask, parent_values), state = record
+        for child_mask in self._children_of.get(parent_mask, ()):
+            child_values = _reproject(
+                parent_mask, parent_values, child_mask, self._d
+            )
+            yield (child_mask, child_values), state
+
+
+class _MergeReducer(Reducer):
+    """Merge the delivered aggregate states of one group (no finalize —
+    states keep flowing down the levels)."""
+
+    def __init__(self, aggregate: AggregateFunction):
+        self._aggregate = aggregate
+
+    def reduce(self, key, states):
+        yield key, _merge_all(self._aggregate, states)
 
 
 def _single(aggregate: AggregateFunction, measure) -> object:

@@ -18,7 +18,9 @@ Examples::
 The ``cube`` and ``compare`` commands take fault-injection knobs
 (``--fault-seed``, ``--crash-prob``, ``--straggle-prob``,
 ``--max-task-attempts``) so task crashes, stragglers and the framework's
-recovery are reproducible from the command line.
+recovery are reproducible from the command line, plus ``--parallelism N``
+(or the ``REPRO_PARALLELISM`` environment variable) to fan map/reduce
+tasks out across worker processes — results are bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -84,14 +86,15 @@ def _cluster_from_args(args, num_rows: int):
                 straggle_prob=args.straggle_prob,
             )
         retry_policy = RetryPolicy(max_attempts=args.max_task_attempts)
+        return paper_cluster(
+            num_rows,
+            num_machines=args.machines,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            parallelism=args.parallelism,
+        )
     except ValueError as error:
         raise SystemExit(f"repro: error: {error}") from None
-    return paper_cluster(
-        num_rows,
-        num_machines=args.machines,
-        fault_plan=fault_plan,
-        retry_policy=retry_policy,
-    )
 
 
 def _print_survival(metrics) -> None:
@@ -198,6 +201,16 @@ def cmd_sketch(args) -> int:
     return 0
 
 
+def _add_execution_args(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend knobs shared by the cube-computing commands."""
+    parser.add_argument(
+        "--parallelism", type=int, default=None, metavar="N",
+        help="worker processes running map/reduce tasks concurrently "
+             "(default: REPRO_PARALLELISM env var, else serial); "
+             "results are bit-identical to a serial run",
+    )
+
+
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     """Fault-injection knobs shared by the cube-computing commands."""
     group = parser.add_argument_group("fault injection")
@@ -244,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     cube.add_argument("--aggregate", default="count")
     cube.add_argument("--machines", type=int, default=20)
     cube.add_argument("-o", "--output")
+    _add_execution_args(cube)
     _add_fault_args(cube)
     cube.set_defaults(fn=cmd_cube)
 
@@ -264,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--verify", action="store_true",
                          help="cross-check that all cubes agree")
+    _add_execution_args(compare)
     _add_fault_args(compare)
     compare.set_defaults(fn=cmd_compare)
 

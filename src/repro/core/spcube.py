@@ -50,6 +50,7 @@ from ..mapreduce.engine import (
     Mapper,
     MapReduceJob,
     Reducer,
+    TaskFactory,
     run_job,
     stable_hash,
 )
@@ -164,18 +165,17 @@ class SPCube:
         seed = self.cluster.seed
         holder: List[SPSketch] = []
 
-        def reducer_factory() -> Reducer:
-            reducer = _SketchReducer(d, k, beta, holder)
-            return reducer
-
         job = MapReduceJob(
             name="sp-sketch",
-            mapper_factory=lambda: _SampleMapper(alpha, seed),
-            reducer_factory=reducer_factory,
+            mapper_factory=TaskFactory(_SampleMapper, alpha, seed),
+            reducer_factory=TaskFactory(_SketchReducer, d, k, beta, holder),
             num_reducers=1,
             # The sample is O(m) w.h.p. (Prop 4.4) and is collected under a
             # single key by design; the value-buffer flag does not apply.
             value_buffer_fraction=None,
+            # The reducer hands the sketch back through ``holder``; that
+            # side channel pins the round to the driver process.
+            driver_state=True,
         )
         result = run_job(job, relation.split(k), self.cluster, m)
         metrics.jobs.append(result.metrics)
@@ -216,20 +216,15 @@ class SPCube:
             metrics.extras["dfs_read_retries"] = self.dfs.read_retries
 
         plan = self._plan_factory(sketch)
-
-        def partitioner(key, num_reducers: int) -> int:
-            if key[0] == _SKEW_TAG:
-                return 0
-            _tag, mask, values = key
-            if self.range_partitioning:
-                return 1 + sketch.partition_of(mask, values)
-            return 1 + stable_hash((mask, values)) % k
+        partitioner = _CubePartitioner(sketch, k, self.range_partitioning)
 
         min_size = self.min_group_size
         job = MapReduceJob(
             name="sp-cube",
-            mapper_factory=lambda: _CubeMapper(d, aggregate, sketch, plan),
-            reducer_factory=lambda: _CubeReducer(d, aggregate, plan, min_size),
+            mapper_factory=TaskFactory(_CubeMapper, d, aggregate, sketch, plan),
+            reducer_factory=TaskFactory(
+                _CubeReducer, d, aggregate, plan, min_size
+            ),
             num_reducers=k + 1,
             partitioner=partitioner,
         )
@@ -244,19 +239,11 @@ class SPCube:
         self._write_output(cube)
         return cube
 
-    def _plan_factory(self, sketch: SPSketch):
+    def _plan_factory(self, sketch: SPSketch) -> "_PlanFunction":
         """Per-tuple plan function honouring the ablation switches."""
-        d = sketch.num_dimensions
-        use_covering = self.ancestor_covering
-        use_partial = self.map_partial_aggregation
-
-        def plan(row) -> TuplePlan:
-            bits = sketch.skew_bits(row) if use_partial else 0
-            if use_covering:
-                return plan_for_skew_bits(bits, d)
-            return plan_without_covering(bits, d)
-
-        return plan
+        return _PlanFunction(
+            sketch, self.ancestor_covering, self.map_partial_aggregation
+        )
 
     def _write_output(self, cube: CubeResult) -> None:
         """Persist one DFS file per cuboid, as Section 3.1 describes."""
@@ -265,6 +252,64 @@ class SPCube:
             per_cuboid.setdefault(mask, []).append((values, value))
         for mask, rows in per_cuboid.items():
             self.dfs.write(f"spcube/cube/cuboid-{mask}", sorted(rows))
+
+
+class _PlanFunction:
+    """Picklable per-tuple plan lookup honouring the ablation switches.
+
+    Replaces the old driver-side closure so round-2 tasks can execute in
+    worker processes; the lattice-plan caches rebuild lazily per process.
+    """
+
+    __slots__ = ("_sketch", "_d", "_covering", "_partial")
+
+    def __init__(
+        self, sketch: SPSketch, ancestor_covering: bool,
+        map_partial_aggregation: bool,
+    ):
+        self._sketch = sketch
+        self._d = sketch.num_dimensions
+        self._covering = ancestor_covering
+        self._partial = map_partial_aggregation
+
+    def __call__(self, row) -> TuplePlan:
+        bits = self._sketch.skew_bits(row) if self._partial else 0
+        if self._covering:
+            return plan_for_skew_bits(bits, self._d)
+        return plan_without_covering(bits, self._d)
+
+    def __getstate__(self):
+        return (self._sketch, self._covering, self._partial)
+
+    def __setstate__(self, state):
+        self._sketch, self._covering, self._partial = state
+        self._d = self._sketch.num_dimensions
+
+
+class _CubePartitioner:
+    """Algorithm 3's routing: skew stream to reducer 0, base groups to
+    their sketch range partition (or a stable hash under the ablation)."""
+
+    __slots__ = ("_sketch", "_k", "_range_partitioning")
+
+    def __init__(self, sketch: SPSketch, k: int, range_partitioning: bool):
+        self._sketch = sketch
+        self._k = k
+        self._range_partitioning = range_partitioning
+
+    def __call__(self, key, num_reducers: int) -> int:
+        if key[0] == _SKEW_TAG:
+            return 0
+        _tag, mask, values = key
+        if self._range_partitioning:
+            return 1 + self._sketch.partition_of(mask, values)
+        return 1 + stable_hash((mask, values)) % self._k
+
+    def __getstate__(self):
+        return (self._sketch, self._k, self._range_partitioning)
+
+    def __setstate__(self, state):
+        self._sketch, self._k, self._range_partitioning = state
 
 
 class _SampleMapper(Mapper):
@@ -305,12 +350,18 @@ class _SketchReducer(Reducer):
 class _CubeMapper(Mapper):
     """Round 2 map (Algorithm 3 lines 2-20)."""
 
+    #: Emission keys repeat for every row of a c-group; interning them in
+    #: a bounded per-task memo reuses one tuple per group (identity-equal
+    #: keys make the engine's routing-cache probes pointer comparisons).
+    _EMIT_MEMO_LIMIT = 1 << 16
+
     def __init__(self, d: int, aggregate: AggregateFunction, sketch: SPSketch, plan):
         self._d = d
         self._aggregate = aggregate
         self._sketch = sketch
         self._plan = plan
         self._partials: Dict[Tuple[int, Tuple], object] = {}
+        self._emit_keys: Dict[Tuple[int, Tuple], Tuple] = {}
 
     def map(self, record):
         d = self._d
@@ -327,9 +378,16 @@ class _CubeMapper(Mapper):
                 entry = (0, aggregate.create())
             count, state = entry
             self._partials[key] = (count + 1, aggregate.add(state, measure))
+        emit_keys = self._emit_keys
         for base_mask, _covered in plan.emissions:
-            values = project(record, base_mask, d)
-            yield (_GROUP_TAG, base_mask, values), record
+            group = (base_mask, project(record, base_mask, d))
+            emit_key = emit_keys.get(group)
+            if emit_key is None:
+                if len(emit_keys) >= self._EMIT_MEMO_LIMIT:
+                    emit_keys.clear()
+                emit_key = (_GROUP_TAG,) + group
+                emit_keys[group] = emit_key
+            yield emit_key, record
 
     def close(self):
         """Flush partial aggregates of skewed groups (lines 16-20)."""

@@ -20,9 +20,19 @@ from .engine import (
     PairFormatError,
     Reducer,
     TaskContext,
+    TaskFactory,
     hash_partitioner,
     run_job,
     stable_hash,
+)
+from .executor import (
+    PARALLELISM_ENV,
+    ParallelExecutor,
+    SerialExecutor,
+    TaskOutcome,
+    build_executor,
+    resolve_parallelism,
+    run_task_chain,
 )
 from .faults import NO_FAULTS, FaultPlan, FaultSpec, RetryPolicy
 from .metrics import JobMetrics, RunMetrics, TaskMetrics
@@ -50,9 +60,17 @@ __all__ = [
     "MapReduceJob",
     "Reducer",
     "TaskContext",
+    "TaskFactory",
     "hash_partitioner",
     "run_job",
     "stable_hash",
+    "PARALLELISM_ENV",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "TaskOutcome",
+    "build_executor",
+    "resolve_parallelism",
+    "run_task_chain",
     "JobMetrics",
     "RunMetrics",
     "TaskMetrics",

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from .costmodel import CostModel
+from .executor import build_executor, resolve_parallelism
 from .faults import FaultPlan, RetryPolicy
 
 
@@ -46,6 +47,11 @@ class ClusterConfig:
     retry_policy:
         How the framework recovers from injected task failures; see
         :class:`~repro.mapreduce.faults.RetryPolicy`.
+    parallelism:
+        Worker processes running a phase's map/reduce tasks concurrently.
+        ``None`` defers to the ``REPRO_PARALLELISM`` environment variable
+        (default 1 = serial).  Parallel runs are bit-identical to serial
+        ones; see :mod:`repro.mapreduce.executor`.
     """
 
     num_machines: int = 20
@@ -55,6 +61,7 @@ class ClusterConfig:
     seed: int = 0x5BC
     fault_plan: Optional[FaultPlan] = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    parallelism: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_machines <= 0:
@@ -63,6 +70,16 @@ class ClusterConfig:
             raise ValueError("memory_records must be positive when given")
         if self.memory_slack < 1.0:
             raise ValueError("memory_slack must be >= 1")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1 when given")
+
+    def effective_parallelism(self) -> int:
+        """The resolved worker count (explicit value, env var, or 1)."""
+        return resolve_parallelism(self.parallelism)
+
+    def task_executor(self):
+        """The executor backend jobs on this cluster run their tasks on."""
+        return build_executor(self.parallelism)
 
     def derive_memory(self, num_input_records: int) -> int:
         """``m`` for an input of the given size (paper: ``m = n / k``)."""
@@ -84,4 +101,5 @@ class ClusterConfig:
             seed=self.seed,
             fault_plan=self.fault_plan,
             retry_policy=self.retry_policy,
+            parallelism=self.parallelism,
         )

@@ -5,8 +5,7 @@ optionally a combiner and a custom partitioner — the same knobs Hadoop
 exposes and the paper's algorithms rely on (custom range partitioner for
 SP-Cube, combiners for Pig's MR-Cube).
 
-Execution is deterministic and single-process, but faithful to the
-distributed data flow:
+Execution is deterministic and faithful to the distributed data flow:
 
 * the input arrives pre-split into ``k`` chunks (one per map task);
 * each map task runs its own mapper instance (so map-side state such as
@@ -19,6 +18,17 @@ distributed data flow:
 
 The engine returns the reduce output plus a :class:`JobMetrics` with all the
 counters the paper's figures are built from.
+
+**Execution backends.**  Each phase's tasks are self-contained
+:class:`_MapTask`/:class:`_ReduceTask` objects executed by the cluster's
+task executor (see :mod:`repro.mapreduce.executor`): the default
+:class:`~repro.mapreduce.executor.SerialExecutor` runs them in-process one
+by one, while a :class:`~repro.mapreduce.executor.ParallelExecutor`
+(enabled via ``ClusterConfig.parallelism`` or ``REPRO_PARALLELISM``) fans
+them out across worker processes.  Outcomes are merged in task-index
+order, so cubes, metrics and fault chains are bit-identical across
+backends.  Jobs that feed results back to the driver through shared
+objects (``MapReduceJob.driver_state``) always run serially.
 
 **Fault tolerance.**  When the cluster carries a
 :class:`~repro.mapreduce.faults.FaultPlan`, every task runs as a chain of
@@ -46,6 +56,7 @@ fault-free run unless the job aborts.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import (
@@ -60,11 +71,14 @@ from typing import (
 
 from .cluster import ClusterConfig
 from .costmodel import CostModel
+from .executor import SerialExecutor, TaskOutcome, run_task_chain
 from .faults import NO_FAULTS, FaultPlan, RetryPolicy
 from .metrics import JobMetrics, TaskMetrics
 from .sizes import estimate_bytes, pair_bytes
 
 Pair = Tuple[object, object]
+
+_crc32 = zlib.crc32
 
 
 class PairFormatError(TypeError):
@@ -96,9 +110,36 @@ DEFAULT_OVERSIZED_DOMINANCE = 1.0 / 3.0
 DEFAULT_OOM_QUORUM_FRACTION = 0.25
 
 
+#: Bounded memo for :func:`stable_hash` over *strings only*.  Strings are
+#: the one key type where memoization is both safe and profitable: a str
+#: can only ever equal another str (no ``1 == 1.0 == True`` cross-type
+#: collisions), and a dict hit costs ~6x less than repr+CRC32.  Tuples are
+#: deliberately not memoized — building a type-strict memo key costs more
+#: than the C-speed ``repr`` it would save (measured; see DESIGN.md §9) —
+#: and repeated tuple keys are already deduplicated by the routing cache
+#: in :func:`_route_pairs`.
+_HASH_MEMO: Dict[str, int] = {}
+_HASH_MEMO_LIMIT = 1 << 16
+
+
 def stable_hash(obj) -> int:
-    """Deterministic, process-independent hash (Python's ``hash`` is salted)."""
-    return zlib.crc32(repr(obj).encode())
+    """Deterministic, process-independent hash (Python's ``hash`` is salted).
+
+    Bit-identical to ``zlib.crc32(repr(obj).encode())`` — the engine's
+    historical definition, pinned by regression tests so partition
+    assignments never shift — with string keys served from a bounded memo
+    (skewed workloads re-hash the same dimension values millions of
+    times).
+    """
+    if type(obj) is str:
+        cached = _HASH_MEMO.get(obj)
+        if cached is None:
+            if len(_HASH_MEMO) >= _HASH_MEMO_LIMIT:
+                _HASH_MEMO.clear()
+            cached = _crc32(repr(obj).encode())
+            _HASH_MEMO[obj] = cached
+        return cached
+    return _crc32(repr(obj).encode())
 
 
 def hash_partitioner(key, num_reducers: int) -> int:
@@ -180,6 +221,28 @@ class FunctionReducer(Reducer):
         return self._fn(key, values)
 
 
+class TaskFactory:
+    """Picklable task factory: ``TaskFactory(Cls, *args)() == Cls(*args)``.
+
+    Engines historically built mappers with ``lambda: Cls(...)``, which
+    cannot cross a process boundary; a :class:`TaskFactory` can, as long
+    as the class is module-level and the arguments pickle.
+    """
+
+    __slots__ = ("_cls", "_args", "_kwargs")
+
+    def __init__(self, cls, *args, **kwargs):
+        self._cls = cls
+        self._args = args
+        self._kwargs = kwargs
+
+    def __call__(self):
+        return self._cls(*self._args, **self._kwargs)
+
+    def __repr__(self) -> str:
+        return f"TaskFactory({self._cls.__name__}, ...)"
+
+
 @dataclass
 class MapReduceJob:
     """Description of one MapReduce round.
@@ -208,6 +271,11 @@ class MapReduceJob:
     oversized_dominance: float = DEFAULT_OVERSIZED_DOMINANCE
     #: Fraction of flagged reduce tasks at which the job counts as failed.
     oom_quorum_fraction: float = DEFAULT_OOM_QUORUM_FRACTION
+    #: True for rounds whose mapper/reducer feeds results back to the
+    #: driver through a shared in-memory object (e.g. a sketch holder
+    #: list).  Such side channels do not survive a process boundary, so
+    #: the engine always runs these rounds on the serial executor.
+    driver_state: bool = False
 
     @classmethod
     def from_functions(
@@ -220,10 +288,42 @@ class MapReduceJob:
         """Convenience constructor from bare functions."""
         return cls(
             name=name,
-            mapper_factory=lambda: FunctionMapper(map_fn),
-            reducer_factory=lambda: FunctionReducer(reduce_fn),
+            mapper_factory=TaskFactory(FunctionMapper, map_fn),
+            reducer_factory=TaskFactory(FunctionReducer, reduce_fn),
             **kwargs,
         )
+
+
+#: Rank table for :func:`_sort_token`: every key type the engines emit
+#: maps into a totally-ordered band, so mixed-type reduce buckets sort
+#: identically in every process (``repr``-keyed sorting was only stable
+#: within one interpreter for types whose repr embeds object addresses).
+def _sort_token(key):
+    """A totally-ordered, process-independent sort token for a reduce key.
+
+    Bands: None < numbers (compared numerically, bools included) < str <
+    bytes < tuples (recursively tokenized) < everything else (by type
+    name, then repr).  Only used for buckets whose keys are not mutually
+    comparable; homogeneous buckets take the plain ``sorted`` path.
+    """
+    kind = type(key)
+    if kind is tuple:
+        return (4, "", tuple(_sort_token(item) for item in key))
+    if kind is str:
+        return (2, "", key)
+    if key is None:
+        return (0, "", 0)
+    if kind is bytes:
+        return (3, "", key)
+    if isinstance(key, (int, float)):  # bool included via int
+        return (1, "", key)
+    if isinstance(key, tuple):
+        return (4, "", tuple(_sort_token(item) for item in key))
+    if isinstance(key, str):
+        return (2, "", key)
+    if isinstance(key, bytes):
+        return (3, "", key)
+    return (5, f"{kind.__module__}.{kind.__qualname__}", repr(key))
 
 
 def _ordered_keys(keys) -> List:
@@ -231,7 +331,7 @@ def _ordered_keys(keys) -> List:
     try:
         return sorted(keys)
     except TypeError:
-        return sorted(keys, key=repr)
+        return sorted(keys, key=_sort_token)
 
 
 @dataclass
@@ -255,68 +355,285 @@ def _unpack_pair(item, job_name: str, phase: str, machine: int) -> Pair:
     return key, value
 
 
-def _run_attempts(
-    attempt_fn: Callable[[], Tuple[TaskMetrics, object]],
-    *,
-    job_name: str,
-    phase: str,
-    machine: int,
-    faults: FaultPlan,
-    retry: RetryPolicy,
-    cost: CostModel,
-    metrics: JobMetrics,
-):
-    """Drive one logical task through crash-retry and speculation.
+def _validated_pairs(
+    items: List, job_name: str, phase: str, machine: int
+) -> List[Pair]:
+    """Repack emitted items as ``(key, value)`` tuples, naming offenders.
 
-    ``attempt_fn`` executes one full attempt from the task's input and
-    returns ``(task, payload)`` with ``task.seconds`` set to the attempt's
-    nominal (fault-free) runtime.  Returns ``(task, payload)`` for the
-    winning attempt — ``task.seconds`` then covers the whole chain of
-    failed attempts, detection delays, backoffs and the winner — or
-    ``(None, chain_seconds)`` when the retry budget is exhausted.
+    The common case is a single C-speed list comprehension; only when it
+    trips does the slow rescan run to attribute the error to the first
+    malformed item.
     """
-    chain_seconds = 0.0
-    for attempt in range(retry.max_attempts):
-        task, payload = attempt_fn()
-        task.attempt = attempt
-        metrics.attempts += 1
-        nominal = task.seconds
+    try:
+        return [(key, value) for key, value in items]
+    except (TypeError, ValueError):
+        for item in items:
+            _unpack_pair(item, job_name, phase, machine)
+        raise
 
-        if faults.crashes(job_name, phase, machine, attempt):
-            # The attempt dies and its output is discarded; the chain pays
-            # for the lost work, the heartbeat timeout, and the backoff.
-            task.killed = True
-            chain_seconds += cost.retry_overhead_seconds(
-                nominal, retry.backoff_seconds(attempt + 1)
+
+def _route_pairs(
+    buffered: List,
+    job: MapReduceJob,
+    num_reducers: int,
+    machine: int,
+) -> Tuple[List[Tuple[int, Pair, int]], int]:
+    """Partition a map task's buffer: ``[(target, pair, size)]`` + bytes.
+
+    This is the engine's hottest loop — once per shuffled pair — so it
+    runs batched with local bindings and a per-key routing cache
+    (partitioners must be pure functions of the key, as in Hadoop, and
+    skewed workloads re-emit the same keys millions of times).  Error
+    attribution is deferred: when anything trips, :func:`_replay_routing`
+    reproduces the first failure with full diagnostics.
+    """
+    routed: List[Tuple[int, Pair, int]] = []
+    append = routed.append
+    partitioner = job.partitioner
+    key_cache: Dict[object, Tuple[int, int]] = {}
+    cache_get = key_cache.get
+    bytes_out = 0
+    try:
+        for key, value in buffered:
+            info = cache_get(key)
+            if info is None:
+                target = partitioner(key, num_reducers)
+                if not 0 <= target < num_reducers:
+                    raise ValueError(
+                        f"partitioner routed key {key!r} to reducer "
+                        f"{target} of {num_reducers}"
+                    )
+                info = (estimate_bytes(key), target)
+                key_cache[key] = info
+            size = info[0] + estimate_bytes(value)
+            bytes_out += size
+            append((info[1], (key, value), size))
+    except (TypeError, ValueError) as error:
+        _replay_routing(buffered, job, num_reducers, machine, error)
+    return routed, bytes_out
+
+
+def _replay_routing(
+    buffered: List,
+    job: MapReduceJob,
+    num_reducers: int,
+    machine: int,
+    error: BaseException,
+) -> None:
+    """Re-run a failed routing pass step by step to name the offender.
+
+    Mirrors the fast loop's evaluation order exactly, so the first item
+    to fail here is the one that tripped the batched loop; a failure the
+    replay cannot reproduce (e.g. an unhashable key that only the cache
+    probe touched) re-raises the original error.
+    """
+    for item in buffered:
+        key, _value = _unpack_pair(item, job.name, "map", machine)
+        target = job.partitioner(key, num_reducers)
+        if not 0 <= target < num_reducers:
+            raise ValueError(
+                f"partitioner routed key {key!r} to reducer "
+                f"{target} of {num_reducers}"
             )
-            metrics.killed_tasks += 1
-            metrics.killed_attempts.append(task)
-            continue
+    raise error
 
-        seconds = nominal * faults.slowdown_factor(
-            job_name, phase, machine, attempt
+
+class _MapTask:
+    """One self-contained map task: chunk in, routed pairs out.
+
+    Carries everything an attempt chain needs, so the task can execute in
+    the driver or in a worker process with identical results.
+    """
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        machine: int,
+        chunk: Sequence,
+        num_reducers: int,
+        num_machines: int,
+        memory_records: int,
+        cost: CostModel,
+        faults: FaultPlan,
+        retry: RetryPolicy,
+    ):
+        self.job = job
+        self.machine = machine
+        self.chunk = chunk
+        self.num_reducers = num_reducers
+        self.num_machines = num_machines
+        self.memory_records = memory_records
+        self.cost = cost
+        self.faults = faults
+        self.retry = retry
+
+    def __call__(self) -> TaskOutcome:
+        return run_task_chain(
+            self._attempt,
+            job_name=self.job.name,
+            phase="map",
+            machine=self.machine,
+            faults=self.faults,
+            retry=self.retry,
+            cost=self.cost,
         )
-        if (
-            retry.speculation_enabled
-            and nominal > 0.0
-            and seconds >= retry.speculation_threshold * nominal
-        ):
-            # Speculative execution: a backup copy starts after the
-            # framework's detection delay; first finisher wins, the loser
-            # is killed, and only the winner's (identical) output is kept.
-            backup_seconds = cost.speculation_launch_seconds + nominal
-            metrics.attempts += 1
-            metrics.killed_tasks += 1
-            if backup_seconds < seconds:
-                seconds = backup_seconds
-                task.speculative = True
-                metrics.speculative_wins += 1
 
-        task.seconds = chain_seconds + seconds
-        if attempt > 0 or task.speculative:
-            metrics.recovered += 1
-        return task, payload
-    return None, chain_seconds
+    def _attempt(self) -> Tuple[TaskMetrics, List]:
+        """One full execution, buffered locally so a crashed attempt
+        contributes nothing to the shuffle."""
+        job = self.job
+        machine = self.machine
+        task = TaskMetrics(machine=machine)
+        context = TaskContext(
+            machine, self.num_machines, self.memory_records
+        )
+        mapper = job.mapper_factory()
+        mapper.setup(context)
+
+        buffered: List[Pair] = []
+        extend = buffered.extend
+        records_in = 0
+        mapper_map = mapper.map
+        for record in self.chunk:
+            records_in += 1
+            extend(mapper_map(record))
+        extend(mapper.close())
+        task.records_in = records_in
+
+        if job.combiner is not None:
+            buffered = _apply_combiner(
+                job.combiner, buffered, context, job.name, machine
+            )
+
+        routed, bytes_out = _route_pairs(
+            buffered, job, self.num_reducers, machine
+        )
+        task.records_out = len(routed)
+        task.bytes_out = bytes_out
+
+        task.cpu_ops = task.records_in + task.records_out + context.extra_cpu
+        task.seconds = self.cost.map_task_seconds(
+            task.cpu_ops, task.bytes_out
+        )
+        return task, routed
+
+
+class _ReduceTask:
+    """One self-contained reduce task: bucket in, reduce output out."""
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        machine: int,
+        bucket: List[Pair],
+        bytes_in: int,
+        physical_memory: int,
+        num_machines: int,
+        memory_records: int,
+        cost: CostModel,
+        faults: FaultPlan,
+        retry: RetryPolicy,
+    ):
+        self.job = job
+        self.machine = machine
+        self.bucket = bucket
+        self.bytes_in = bytes_in
+        self.physical_memory = physical_memory
+        self.num_machines = num_machines
+        self.memory_records = memory_records
+        self.cost = cost
+        self.faults = faults
+        self.retry = retry
+
+    def __call__(self) -> TaskOutcome:
+        return run_task_chain(
+            self._attempt,
+            job_name=self.job.name,
+            phase="reduce",
+            machine=self.machine,
+            faults=self.faults,
+            retry=self.retry,
+            cost=self.cost,
+        )
+
+    def _attempt(self) -> Tuple[TaskMetrics, Tuple]:
+        job = self.job
+        machine = self.machine
+        task = TaskMetrics(machine=machine)
+        context = TaskContext(
+            machine, self.num_machines, self.memory_records
+        )
+        reducer = job.reducer_factory()
+        reducer.setup(context)
+
+        # Bucket pairs were validated and repacked during routing, so the
+        # grouping loop can unpack without per-pair checks; avoiding the
+        # per-pair ``setdefault`` list allocation matters at volume.
+        grouped: Dict[object, List] = {}
+        grouped_get = grouped.get
+        for key, value in self.bucket:
+            values = grouped_get(key)
+            if values is None:
+                grouped[key] = [value]
+            else:
+                values.append(value)
+        task.records_in = len(self.bucket)
+        task.bytes_in = self.bytes_in
+
+        physical = self.physical_memory
+        task.peak_group_records = max(
+            (len(values) for values in grouped.values()), default=0
+        )
+        task.spilled_records = max(0, task.records_in - physical)
+        oom_flagged = False
+        if job.value_buffer_fraction is not None:
+            buffer_limit = job.value_buffer_fraction * physical
+            oversized_volume = sum(
+                len(values)
+                for values in grouped.values()
+                if len(values) > buffer_limit
+            )
+            oom_flagged = (
+                oversized_volume
+                > job.oversized_dominance * task.records_in
+            )
+
+        emitted: List = []
+        extend = emitted.extend
+        reducer_reduce = reducer.reduce
+        for key in _ordered_keys(grouped):
+            extend(reducer_reduce(key, grouped[key]))
+        extend(reducer.close())
+        reducer_output = _validated_pairs(
+            emitted, job.name, "reduce", machine
+        )
+
+        bytes_out = 0
+        for key, value in reducer_output:
+            bytes_out += pair_bytes(key, value)
+        task.records_out = len(reducer_output)
+        task.bytes_out = bytes_out
+
+        task.cpu_ops = (
+            task.records_in + task.records_out + context.extra_cpu
+        )
+        task.seconds = self.cost.reduce_task_seconds(
+            task.cpu_ops, task.spilled_records, task.bytes_out
+        )
+        return task, (reducer_output, oom_flagged)
+
+
+def _chain_exhausted(outcome: TaskOutcome) -> bool:
+    return outcome.task is None
+
+
+def _merge_outcome(metrics: JobMetrics, outcome: TaskOutcome) -> None:
+    """Fold one task chain's fault counters into the job metrics."""
+    metrics.attempts += outcome.attempts
+    metrics.killed_tasks += outcome.killed_tasks
+    metrics.speculative_wins += outcome.speculative_wins
+    metrics.recovered += outcome.recovered
+    metrics.killed_attempts.extend(outcome.killed_attempts)
 
 
 def run_job(
@@ -324,6 +641,7 @@ def run_job(
     input_chunks: Sequence[Sequence],
     cluster: ClusterConfig,
     memory_records: int,
+    executor=None,
 ) -> JobResult:
     """Execute one MapReduce round over pre-split input.
 
@@ -334,9 +652,16 @@ def run_job(
     input_chunks:
         One record sequence per map task (``len(input_chunks)`` map tasks).
     cluster:
-        Cluster shape, cost model, and fault plan / retry policy.
+        Cluster shape, cost model, fault plan / retry policy, and
+        parallelism (which executor runs the phase's tasks).
     memory_records:
         ``m``, the per-machine memory in records for this run.
+    executor:
+        Override the cluster's task executor (mostly for tests).
+
+    Outcomes are merged in task-index order and the merge stops at the
+    first exhausted chain, so every backend — serial or parallel —
+    produces identical output, metrics and abort behaviour.
     """
     cost = cluster.cost_model
     faults = cluster.fault_plan or NO_FAULTS
@@ -346,81 +671,40 @@ def run_job(
         name=job.name,
         oom_quorum=max(2, int(job.oom_quorum_fraction * num_reducers)),
     )
+    if executor is None:
+        executor = cluster.task_executor()
+    if job.driver_state and not isinstance(executor, SerialExecutor):
+        # Driver-side side channels (holder lists) cannot cross processes.
+        executor = SerialExecutor()
+    metrics.executor = executor.name
 
     # ---- map phase --------------------------------------------------------
+    map_tasks = [
+        _MapTask(
+            job, machine, chunk, num_reducers, cluster.num_machines,
+            memory_records, cost, faults, retry,
+        )
+        for machine, chunk in enumerate(input_chunks)
+    ]
+    phase_started = time.perf_counter()
+    outcomes = executor.run_tasks(map_tasks, stop_early=_chain_exhausted)
+    metrics.map_phase_wall_seconds = time.perf_counter() - phase_started
+
     reducer_buckets: List[List[Pair]] = [[] for _ in range(num_reducers)]
     reducer_bytes = [0] * num_reducers
-    # Partitioners must be pure functions of the key (as in Hadoop), so the
-    # routing decision and the key's serialized size are cached per key —
-    # skewed workloads re-emit the same keys millions of times.  The cache
-    # survives crashed attempts: routing is attempt-independent.
-    key_cache: Dict[object, Tuple[int, int]] = {}
     dead_chain_seconds = 0.0
-
-    def map_attempt(machine: int, chunk) -> Tuple[TaskMetrics, List]:
-        """One full execution of a map task, buffered locally so a crashed
-        attempt contributes nothing to the shuffle."""
-        task = TaskMetrics(machine=machine)
-        context = TaskContext(machine, cluster.num_machines, memory_records)
-        mapper = job.mapper_factory()
-        mapper.setup(context)
-
-        buffered: List[Pair] = []
-        for record in chunk:
-            task.records_in += 1
-            for pair in mapper.map(record):
-                buffered.append(pair)
-        for pair in mapper.close():
-            buffered.append(pair)
-
-        if job.combiner is not None:
-            buffered = _apply_combiner(
-                job.combiner, buffered, context, job.name, machine
-            )
-
-        routed: List[Tuple[int, Pair, int]] = []
-        for item in buffered:
-            key, value = _unpack_pair(item, job.name, "map", machine)
-            info = key_cache.get(key)
-            if info is None:
-                target = job.partitioner(key, num_reducers)
-                if not 0 <= target < num_reducers:
-                    raise ValueError(
-                        f"partitioner routed key {key!r} to reducer "
-                        f"{target} of {num_reducers}"
-                    )
-                info = (estimate_bytes(key), target)
-                key_cache[key] = info
-            key_bytes, target = info
-            size = key_bytes + estimate_bytes(value)
-            task.records_out += 1
-            task.bytes_out += size
-            routed.append((target, (key, value), size))
-
-        task.cpu_ops = task.records_in + task.records_out + context.extra_cpu
-        task.seconds = cost.map_task_seconds(task.cpu_ops, task.bytes_out)
-        return task, routed
-
-    for machine, chunk in enumerate(input_chunks):
-        task, payload = _run_attempts(
-            lambda m=machine, c=chunk: map_attempt(m, c),
-            job_name=job.name,
-            phase="map",
-            machine=machine,
-            faults=faults,
-            retry=retry,
-            cost=cost,
-            metrics=metrics,
-        )
-        if task is None:
+    for machine, outcome in enumerate(outcomes):
+        _merge_outcome(metrics, outcome)
+        if outcome.task is None:
             metrics.aborted = True
             metrics.abort_reason = (
                 f"map task {machine} exhausted "
                 f"{retry.max_attempts} attempts"
             )
-            dead_chain_seconds = payload
+            dead_chain_seconds = outcome.chain_seconds
             break
-        for target, pair, size in payload:
+        task = outcome.task
+        for target, pair, size in outcome.payload:
             reducer_buckets[target].append(pair)
             reducer_bytes[target] += size
         metrics.map_tasks.append(task)
@@ -443,85 +727,34 @@ def run_job(
 
     # ---- reduce phase -----------------------------------------------------
     physical = cluster.physical_memory(memory_records)
+    reduce_tasks = [
+        _ReduceTask(
+            job, machine, bucket, reducer_bytes[machine], physical,
+            cluster.num_machines, memory_records, cost, faults, retry,
+        )
+        for machine, bucket in enumerate(reducer_buckets)
+    ]
+    phase_started = time.perf_counter()
+    outcomes = executor.run_tasks(reduce_tasks, stop_early=_chain_exhausted)
+    metrics.reduce_phase_wall_seconds = time.perf_counter() - phase_started
+
     output: List[Pair] = []
     reducer_outputs: List[List[Pair]] = []
     dead_chain_seconds = 0.0
-
-    def reduce_attempt(machine: int, bucket) -> Tuple[TaskMetrics, Tuple]:
-        task = TaskMetrics(machine=machine)
-        context = TaskContext(machine, cluster.num_machines, memory_records)
-        reducer = job.reducer_factory()
-        reducer.setup(context)
-
-        grouped: Dict[object, List] = {}
-        for key, value in bucket:
-            grouped.setdefault(key, []).append(value)
-            task.records_in += 1
-        task.bytes_in = reducer_bytes[machine]
-
-        task.peak_group_records = max(
-            (len(values) for values in grouped.values()), default=0
-        )
-        task.spilled_records = max(0, task.records_in - physical)
-        oom_flagged = False
-        if job.value_buffer_fraction is not None:
-            buffer_limit = job.value_buffer_fraction * physical
-            oversized_volume = sum(
-                len(values)
-                for values in grouped.values()
-                if len(values) > buffer_limit
-            )
-            oom_flagged = (
-                oversized_volume
-                > job.oversized_dominance * task.records_in
-            )
-
-        reducer_output: List[Pair] = []
-        for key in _ordered_keys(grouped):
-            for item in reducer.reduce(key, grouped[key]):
-                reducer_output.append(
-                    _unpack_pair(item, job.name, "reduce", machine)
-                )
-        for item in reducer.close():
-            reducer_output.append(
-                _unpack_pair(item, job.name, "reduce", machine)
-            )
-
-        for key, value in reducer_output:
-            task.records_out += 1
-            task.bytes_out += pair_bytes(key, value)
-
-        task.cpu_ops = (
-            task.records_in + task.records_out + context.extra_cpu
-        )
-        task.seconds = cost.reduce_task_seconds(
-            task.cpu_ops, task.spilled_records, task.bytes_out
-        )
-        return task, (reducer_output, oom_flagged)
-
-    for machine, bucket in enumerate(reducer_buckets):
-        task, payload = _run_attempts(
-            lambda m=machine, b=bucket: reduce_attempt(m, b),
-            job_name=job.name,
-            phase="reduce",
-            machine=machine,
-            faults=faults,
-            retry=retry,
-            cost=cost,
-            metrics=metrics,
-        )
-        if task is None:
+    for machine, outcome in enumerate(outcomes):
+        _merge_outcome(metrics, outcome)
+        if outcome.task is None:
             metrics.aborted = True
             metrics.abort_reason = (
                 f"reduce task {machine} exhausted "
                 f"{retry.max_attempts} attempts"
             )
-            dead_chain_seconds = payload
+            dead_chain_seconds = outcome.chain_seconds
             break
-        reducer_output, oom_flagged = payload
+        reducer_output, oom_flagged = outcome.payload
         if oom_flagged:
             metrics.oom_reducers.append(machine)
-        metrics.reduce_tasks.append(task)
+        metrics.reduce_tasks.append(outcome.task)
         output.extend(reducer_output)
         reducer_outputs.append(reducer_output)
 
@@ -550,14 +783,21 @@ def _apply_combiner(
 ) -> List[Pair]:
     """Group a map task's buffer by key and fold it through the combiner."""
     grouped: Dict[object, List] = {}
-    for item in pairs:
-        key, value = _unpack_pair(item, job_name, "map", machine)
-        grouped.setdefault(key, []).append(value)
+    grouped_get = grouped.get
+    try:
+        for key, value in pairs:
+            values = grouped_get(key)
+            if values is None:
+                grouped[key] = [value]
+            else:
+                values.append(value)
+    except (TypeError, ValueError):
+        for item in pairs:
+            _unpack_pair(item, job_name, "map", machine)
+        raise
     context.add_cpu(len(pairs))
-    combined: List[Pair] = []
+    emitted: List = []
+    extend = emitted.extend
     for key in _ordered_keys(grouped):
-        for item in combiner(key, grouped[key]):
-            combined.append(
-                _unpack_pair(item, job_name, "combiner", machine)
-            )
-    return combined
+        extend(combiner(key, grouped[key]))
+    return _validated_pairs(emitted, job_name, "combiner", machine)

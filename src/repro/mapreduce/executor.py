@@ -1,0 +1,284 @@
+"""Pluggable task-execution backends for the simulated engine.
+
+The engine's map and reduce tasks are independent by construction — the
+same property real MapReduce exploits for scale-out — so a phase's tasks
+can run concurrently without touching the simulation's semantics.  This
+module provides the two backends:
+
+* :class:`SerialExecutor` — the default: tasks run one after another in
+  the driver process, stopping early once a task aborts (exactly the
+  engine's historical behaviour).
+* :class:`ParallelExecutor` — a ``ProcessPoolExecutor`` fans the phase's
+  tasks out across worker processes; tasks whose job closes over
+  non-picklable state fall back to a thread pool transparently.
+
+Determinism is preserved by contract, not by luck:
+
+1. every task is a **pure function** of its inputs (chunk, job, fault
+   plan, retry policy) — fault coin flips are seeded per
+   ``(job, phase, task, attempt)`` identity, never per execution order;
+2. the executor returns outcomes **in task-index order**, and the engine
+   merges them in that order, so shuffle buckets, metrics counters and
+   attempt chains are bit-identical to a serial run;
+3. a task chain that exhausts its retry budget produces an *outcome*
+   (``task is None``), never an exception; the engine truncates the merge
+   at the first aborted index, which reproduces serial early-stopping
+   even when a parallel backend has already run the later tasks.
+
+:func:`run_task_chain` is the pure attempt-chain driver shared by both
+backends: it accumulates the fault-tolerance counters into the returned
+:class:`TaskOutcome` instead of mutating shared job metrics, which is
+what makes a task safe to execute in a worker process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .costmodel import CostModel
+from .faults import FaultPlan, RetryPolicy
+from .metrics import TaskMetrics
+
+#: Environment variable consulted when a cluster does not pin parallelism.
+PARALLELISM_ENV = "REPRO_PARALLELISM"
+
+
+@dataclass
+class TaskOutcome:
+    """Everything one task's attempt chain produced.
+
+    ``task`` is the winning attempt's metrics (``seconds`` covering the
+    whole chain) or ``None`` when the retry budget was exhausted; the
+    fault-tolerance counters are carried here instead of being written to
+    shared :class:`~repro.mapreduce.metrics.JobMetrics`, so a chain can
+    run in a worker process and be merged deterministically afterwards.
+    """
+
+    task: Optional[TaskMetrics]
+    payload: object
+    chain_seconds: float = 0.0
+    attempts: int = 0
+    killed_tasks: int = 0
+    speculative_wins: int = 0
+    recovered: int = 0
+    killed_attempts: List[TaskMetrics] = field(default_factory=list)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the chain ran out of attempts (the job must abort)."""
+        return self.task is None
+
+
+def run_task_chain(
+    attempt_fn: Callable[[], tuple],
+    *,
+    job_name: str,
+    phase: str,
+    machine: int,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    cost: CostModel,
+) -> TaskOutcome:
+    """Drive one logical task through crash-retry and speculation.
+
+    ``attempt_fn`` executes one full attempt from the task's input and
+    returns ``(task, payload)`` with ``task.seconds`` set to the attempt's
+    nominal (fault-free) runtime.  The winning attempt's ``task.seconds``
+    covers the whole chain of failed attempts, detection delays, backoffs
+    and the winner; an exhausted budget yields ``task=None`` with the
+    dead chain's accumulated seconds.
+    """
+    outcome = TaskOutcome(task=None, payload=None)
+    chain_seconds = 0.0
+    for attempt in range(retry.max_attempts):
+        task, payload = attempt_fn()
+        task.attempt = attempt
+        outcome.attempts += 1
+        nominal = task.seconds
+
+        if faults.crashes(job_name, phase, machine, attempt):
+            # The attempt dies and its output is discarded; the chain pays
+            # for the lost work, the heartbeat timeout, and the backoff.
+            task.killed = True
+            chain_seconds += cost.retry_overhead_seconds(
+                nominal, retry.backoff_seconds(attempt + 1)
+            )
+            outcome.killed_tasks += 1
+            outcome.killed_attempts.append(task)
+            continue
+
+        seconds = nominal * faults.slowdown_factor(
+            job_name, phase, machine, attempt
+        )
+        if (
+            retry.speculation_enabled
+            and nominal > 0.0
+            and seconds >= retry.speculation_threshold * nominal
+        ):
+            # Speculative execution: a backup copy starts after the
+            # framework's detection delay; first finisher wins, the loser
+            # is killed, and only the winner's (identical) output is kept.
+            backup_seconds = cost.speculation_launch_seconds + nominal
+            outcome.attempts += 1
+            outcome.killed_tasks += 1
+            if backup_seconds < seconds:
+                seconds = backup_seconds
+                task.speculative = True
+                outcome.speculative_wins += 1
+
+        task.seconds = chain_seconds + seconds
+        if attempt > 0 or task.speculative:
+            outcome.recovered += 1
+        outcome.task = task
+        outcome.payload = payload
+        outcome.chain_seconds = chain_seconds
+        return outcome
+    outcome.chain_seconds = chain_seconds
+    return outcome
+
+
+class SerialExecutor:
+    """Run tasks one after another in the driver process (the default).
+
+    Stops dispatching as soon as a task chain exhausts its retry budget —
+    later tasks never run and contribute nothing, exactly as the engine
+    always behaved.
+    """
+
+    name = "serial"
+
+    def run_tasks(
+        self,
+        tasks: Sequence[Callable[[], TaskOutcome]],
+        stop_early: Optional[Callable[[TaskOutcome], bool]] = None,
+    ) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        for task in tasks:
+            outcome = task()
+            outcomes.append(outcome)
+            if stop_early is not None and stop_early(outcome):
+                break
+        return outcomes
+
+
+#: Cached worker pools, keyed by (kind, max_workers).  Forking a pool per
+#: phase would dominate small jobs; the pools are process-global, reused
+#: across runs, and torn down at interpreter exit.
+_POOLS: Dict[tuple, _FuturesExecutor] = {}
+
+
+def _shutdown_pools() -> None:
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+atexit.register(_shutdown_pools)
+
+
+def _get_pool(kind: str, max_workers: int) -> _FuturesExecutor:
+    pool = _POOLS.get((kind, max_workers))
+    if pool is None:
+        if kind == "process":
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix="repro-task",
+            )
+        _POOLS[(kind, max_workers)] = pool
+    return pool
+
+
+def _discard_pool(kind: str, max_workers: int) -> None:
+    pool = _POOLS.pop((kind, max_workers), None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+class ParallelExecutor:
+    """Fan a phase's tasks out across processes (threads as a fallback).
+
+    A phase's first task is pickle-probed: picklable tasks go to a
+    ``ProcessPoolExecutor`` (true parallelism), anything closing over
+    lambdas or other non-picklable state runs on a thread pool instead
+    (same API, GIL-bound).  Either way the outcomes come back in
+    task-index order, so the engine's merge — and therefore the cube,
+    the metrics and the fault chains — is bit-identical to serial.
+
+    A broken pool (a worker segfaulted, or a task's *result* failed to
+    pickle) degrades to the thread pool and re-runs the phase; tasks are
+    pure, so re-execution is safe.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run_tasks(
+        self,
+        tasks: Sequence[Callable[[], TaskOutcome]],
+        stop_early: Optional[Callable[[TaskOutcome], bool]] = None,
+    ) -> List[TaskOutcome]:
+        if len(tasks) <= 1:
+            return SerialExecutor().run_tasks(tasks, stop_early)
+        if self._picklable(tasks[0]):
+            try:
+                return self._run_in_pool("process", tasks)
+            except (BrokenProcessPool, pickle.PicklingError):
+                # The pool died mid-phase (or a worker's result would not
+                # serialize): discard it and redo the phase on threads.
+                _discard_pool("process", self.max_workers)
+        return self._run_in_pool("thread", tasks)
+
+    def _run_in_pool(
+        self, kind: str, tasks: Sequence[Callable[[], TaskOutcome]]
+    ) -> List[TaskOutcome]:
+        pool = _get_pool(kind, self.max_workers)
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _picklable(task) -> bool:
+        try:
+            pickle.dumps(task)
+            return True
+        except Exception:
+            return False
+
+
+def resolve_parallelism(value: Optional[int] = None) -> int:
+    """Worker count for a run: explicit value, else ``REPRO_PARALLELISM``,
+    else 1 (serial)."""
+    if value is not None:
+        return value
+    env = os.environ.get(PARALLELISM_ENV)
+    if env:
+        try:
+            parsed = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{PARALLELISM_ENV} must be an integer, got {env!r}"
+            ) from None
+        if parsed < 1:
+            raise ValueError(f"{PARALLELISM_ENV} must be >= 1, got {parsed}")
+        return parsed
+    return 1
+
+
+def build_executor(parallelism: Optional[int] = None):
+    """The executor for a resolved parallelism level (1 = serial)."""
+    workers = resolve_parallelism(parallelism)
+    if workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)

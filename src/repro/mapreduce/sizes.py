@@ -9,7 +9,12 @@ reducers.
 
 This function runs once per shuffled pair, so the common shapes (scalars
 and shallow tuples of scalars) take an iteration-free fast path; only
-nested containers recurse.
+nested containers recurse.  There is deliberately no global memo here:
+key sizes for repeated keys are cached per task by the engine's routing
+loop (``_route_pairs``), where the cache key is free, and a type-strict
+standalone memo key costs more to build than the sizes it would save
+(``(1,)`` and ``(True,)`` are equal yet 12 vs 5 bytes, so equality alone
+cannot key a cache).
 """
 
 from __future__ import annotations

@@ -98,6 +98,41 @@ class TestRunSweep:
         with pytest.raises(KeyError):
             sweep.series("bogus_metric")
 
+    def test_fault_seed_injects_faults_at_every_point(self, cluster):
+        """The ROADMAP's CLI-parity knobs: a fault_seed makes every run of
+        the sweep execute under a seeded FaultPlan, visible through the
+        recovery metrics, while cubes still verify."""
+        clean = run_sweep(
+            "demo", "n", tiny_workloads(), FACTORIES, cluster
+        )
+        faulted = run_sweep(
+            "demo",
+            "n",
+            tiny_workloads(),
+            FACTORIES,
+            cluster,
+            verify=True,
+            fault_seed=12,
+            crash_prob=0.15,
+            straggle_prob=0.1,
+        )
+        for metric in ("attempts", "recovered"):
+            clean_total = sum(
+                y for curve in clean.series(metric).values() for _x, y in curve
+            )
+            faulted_total = sum(
+                y
+                for curve in faulted.series(metric).values()
+                for _x, y in curve
+            )
+            assert faulted_total > clean_total, metric
+
+    def test_fault_knobs_do_not_mutate_the_shared_cluster(self, cluster):
+        run_sweep(
+            "demo", "n", tiny_workloads(), FACTORIES, cluster, fault_seed=5
+        )
+        assert cluster.fault_plan is None
+
 
 class TestMetricAccessors:
     def test_all_metrics_evaluate(self, cluster):

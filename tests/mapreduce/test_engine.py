@@ -393,6 +393,84 @@ class TestStableHash:
             for num_reducers in (1, 3, 7):
                 assert 0 <= hash_partitioner(key, num_reducers) < num_reducers
 
+    #: Hard-coded CRC32-of-repr values.  These pin the *scheme itself*:
+    #: if a fast path ever diverges from crc32(repr(key)), partition
+    #: assignments — and therefore every metric in EXPERIMENTS.md —
+    #: silently shift.  Do not regenerate these from the implementation.
+    PINNED = {
+        "word": 1882384465,
+        0: 4108050209,
+        -17: 2973019676,
+        (3, ("a", "b")): 2300705876,
+        ("k", 42): 2536021665,
+        None: 3751981041,
+        True: 1573839795,
+    }
+
+    def test_literal_pins(self):
+        for key, expected in self.PINNED.items():
+            assert stable_hash(key) == expected, key
+
+    def test_memo_distinguishes_equal_keys_of_different_type(self):
+        # 1 == 1.0 == True, but their reprs (and hashes) differ; a memo
+        # keyed on equality alone would conflate them.  Floats skip the
+        # fast paths entirely (-0.0 == 0.0 with different reprs).
+        import zlib
+
+        for key in [(1,), (1.0,), (True,), (-0.0,), (0.0,), (0,)]:
+            expected = zlib.crc32(repr(key).encode())
+            assert stable_hash(key) == expected, key
+            assert stable_hash(key) == expected, key  # memoized call too
+
+    def test_fast_path_strings_match_repr_scheme(self):
+        import zlib
+
+        for key in ["", "plain", "with space", "quote's", "back\\slash",
+                    "tab\there", "unicode-é"]:
+            assert stable_hash(key) == zlib.crc32(repr(key).encode()), key
+
+
+class TestOrderedKeys:
+    """The typed fallback sort for mixed-type key spaces.
+
+    Reducers iterate keys in sorted order; when keys are not mutually
+    comparable the engine falls back to a typed sort token that must be
+    consistent across processes (a repr of a float or a dict is, an
+    ``object`` default repr with its memory address is not).
+    """
+
+    def test_numbers_sort_numerically_not_lexically(self):
+        from repro.mapreduce.engine import _ordered_keys
+
+        assert _ordered_keys({10: 0, 2: 0, -3: 0}) == [-3, 2, 10]
+
+    def test_mixed_types_sort_deterministically(self):
+        from repro.mapreduce.engine import _ordered_keys
+
+        keys = ["b", 2, None, (1, "x"), "a", 1.5, (1, "w"), b"raw"]
+        once = _ordered_keys(dict.fromkeys(keys, 0))
+        again = _ordered_keys(dict.fromkeys(reversed(keys), 0))
+        assert once == again
+        # Bands: None < numbers < str < bytes < tuple.
+        assert once[0] is None
+        assert once[1:3] == [1.5, 2]
+        assert once[3:5] == ["a", "b"]
+        assert once[5] == b"raw"
+        assert once[6:] == [(1, "w"), (1, "x")]
+
+    def test_tuples_compare_recursively(self):
+        from repro.mapreduce.engine import _ordered_keys
+
+        keys = [(1, None), (1, 0), (1, "a"), (0, "z")]
+        assert _ordered_keys(dict.fromkeys(keys, 0)) == [
+            (0, "z"), (1, None), (1, 0), (1, "a"),
+        ]
+
+    def test_comparable_keys_keep_native_order(self):
+        from repro.mapreduce.engine import _ordered_keys
+
+        assert _ordered_keys({"c": 0, "a": 0, "b": 0}) == ["a", "b", "c"]
+
 
 class TestMixedKeyOrdering:
     def test_uncomparable_keys_fall_back_to_repr(self, cluster):
