@@ -1,0 +1,121 @@
+"""Figure-6a-style recovery-cost sweep: fault pressure vs running time.
+
+The paper's Figure 6a charts running time against the skewness knob; this
+bench charts it against *fault pressure* instead — the per-attempt
+crash/straggle probability — holding the workload fixed.  For each engine
+and each pressure point it runs the gen-zipf workload under a seeded
+:class:`~repro.mapreduce.faults.FaultPlan` (per-run seeds derived via
+:func:`repro.analysis.runner.derive_fault_seed`, so points are
+statistically independent) and records the fault-tolerance counters plus
+the exact recovery overhead ``RunMetrics.recovery_overhead()`` — time
+lost to killed attempts, crash detection, backoffs and residual
+straggle, counted once per chain on its winning attempt.
+
+Results land in ``BENCH_recovery.json`` at the repo root (the CI
+perf-smoke job uploads it as an artifact) and in
+``benchmarks/results/recovery_cost.txt`` as a table.
+
+Knobs (environment):
+
+``REPRO_BENCH_RECOVERY_ROWS``   workload size (default 6000)
+``REPRO_BENCH_RECOVERY_SEED``   base fault seed (default 1337)
+"""
+
+import json
+import os
+import pathlib
+
+from repro.analysis.runner import derive_fault_seed
+from repro.analysis import paper_cluster
+from repro.datagen import gen_zipf
+from repro.mapreduce.faults import FaultPlan
+
+from conftest import PAPER_ALGORITHMS, write_result
+
+ROWS = int(os.environ.get("REPRO_BENCH_RECOVERY_ROWS", "6000"))
+BASE_SEED = int(os.environ.get("REPRO_BENCH_RECOVERY_SEED", "1337"))
+#: Fault pressure axis: per-attempt crash AND straggle probability.
+PRESSURES = [0.0, 0.05, 0.1, 0.2]
+RESULT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_recovery.json"
+)
+
+
+def _run_point(name, factory, relation, pressure):
+    fault_plan = None
+    if pressure > 0.0:
+        fault_plan = FaultPlan(
+            seed=derive_fault_seed(BASE_SEED, name, pressure),
+            crash_prob=pressure,
+            straggle_prob=pressure,
+        )
+    cluster = paper_cluster(len(relation), fault_plan=fault_plan)
+    metrics = factory(cluster).compute(relation).metrics
+    return {
+        "engine": name,
+        "pressure": pressure,
+        "total_seconds": round(metrics.total_seconds, 3),
+        "attempts": metrics.attempts,
+        "killed_tasks": metrics.killed_tasks,
+        "speculative_wins": metrics.speculative_wins,
+        "recovered": metrics.recovered,
+        "recovery_overhead_seconds": round(metrics.recovery_overhead(), 3),
+        "failed": metrics.failed,
+    }
+
+
+def test_recovery_cost_sweep():
+    relation = gen_zipf(ROWS, seed=9)
+    rows = []
+    for name, factory in PAPER_ALGORITHMS.items():
+        for pressure in PRESSURES:
+            rows.append(_run_point(name, factory, relation, pressure))
+
+    by_engine = {}
+    for row in rows:
+        by_engine.setdefault(row["engine"], {})[row["pressure"]] = row
+
+    lines = [
+        f"recovery cost vs fault pressure — gen-zipf, n={ROWS}, "
+        f"seed base {BASE_SEED}",
+        "",
+        f"{'engine':10s}{'p':>6s}{'time(s)':>10s}{'overhead(s)':>13s}"
+        f"{'slowdown':>10s}{'attempts':>10s}{'killed':>8s}{'spec':>6s}"
+        f"{'recov':>7s}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for name, points in by_engine.items():
+        baseline = points[0.0]["total_seconds"]
+        for pressure in PRESSURES:
+            row = points[pressure]
+            slowdown = (
+                row["total_seconds"] / baseline if baseline else float("nan")
+            )
+            row["slowdown"] = round(slowdown, 3)
+            lines.append(
+                f"{name:10s}{pressure:6.2f}{row['total_seconds']:10.1f}"
+                f"{row['recovery_overhead_seconds']:13.1f}{slowdown:10.2f}"
+                f"{row['attempts']:10d}{row['killed_tasks']:8d}"
+                f"{row['speculative_wins']:6d}{row['recovered']:7d}"
+            )
+    write_result("recovery_cost", "\n".join(lines))
+    RESULT_PATH.write_text(json.dumps(
+        {"rows": ROWS, "base_seed": BASE_SEED, "points": rows}, indent=2,
+    ) + "\n")
+    print(f"[written to {RESULT_PATH}]")
+
+    for name, points in by_engine.items():
+        clean = points[0.0]
+        assert clean["attempts"] > 0
+        assert clean["recovery_overhead_seconds"] == 0.0, name
+        assert clean["killed_tasks"] == 0, name
+        # Recovery overhead is summed *machine* time across chains —
+        # chains recover concurrently, so it may exceed the simulated
+        # wall time; the invariant is that pressure produces extra
+        # attempts and a strictly positive, finite overhead.
+        for pressure in PRESSURES[1:]:
+            row = points[pressure]
+            if row["failed"]:
+                continue
+            assert row["attempts"] > clean["attempts"], (name, pressure)
+            assert 0.0 < row["recovery_overhead_seconds"], (name, pressure)

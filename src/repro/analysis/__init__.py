@@ -14,6 +14,7 @@ from .runner import (
     PointResult,
     SweepResult,
     VerificationError,
+    derive_fault_seed,
     run_algorithms,
     run_sweep,
     subsample_sweep,
@@ -31,6 +32,7 @@ __all__ = [
     "PointResult",
     "SweepResult",
     "VerificationError",
+    "derive_fault_seed",
     "run_algorithms",
     "paper_cluster",
     "run_sweep",

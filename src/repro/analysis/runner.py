@@ -13,6 +13,7 @@ Metric accessors are by name so benches and reports stay declarative; see
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -44,8 +45,23 @@ METRICS: Dict[str, Callable[[RunMetrics], float]] = {
     "killed_tasks": lambda m: float(m.killed_tasks),
     "speculative_wins": lambda m: float(m.speculative_wins),
     "recovered": lambda m: float(m.recovered),
+    "recovery_overhead_seconds": lambda m: m.recovery_overhead(),
     "aborted": lambda m: 1.0 if m.aborted else 0.0,
 }
+
+
+def derive_fault_seed(base_seed: int, algorithm: str, x: float) -> int:
+    """The fault seed for one (sweep point, algorithm) run.
+
+    ``crc32(repr((base_seed, algorithm, x)))`` — a pure function of the
+    sweep's base seed and the run's identity, independent of point order
+    or of which other algorithms run.  Deriving per-run seeds keeps the
+    fault schedules of a sweep's runs statistically independent: with a
+    single shared seed, every point of a curve replays the *same* coin
+    flips (task identities repeat across points), so one unlucky crash
+    pattern biases the whole curve instead of averaging out.
+    """
+    return zlib.crc32(repr((base_seed, algorithm, x)).encode("utf-8"))
 
 
 class VerificationError(AssertionError):
@@ -119,6 +135,7 @@ def run_sweep(
     fault_seed: Optional[int] = None,
     crash_prob: float = 0.1,
     straggle_prob: float = 0.1,
+    tracer=None,
 ) -> SweepResult:
     """Execute a full sweep: one point per workload, one run per factory.
 
@@ -140,29 +157,36 @@ def run_sweep(
         When ``fault_seed`` is given, every run executes under a seeded
         :class:`~repro.mapreduce.faults.FaultPlan` with these per-attempt
         probabilities — the same knobs the CLI exposes — so a sweep can
-        chart recovery cost versus fault pressure.  The seeded flips are
-        pure functions of task identity, so all algorithms at a point
-        face the same fault schedule.
+        chart recovery cost versus fault pressure.  Each run gets its own
+        plan seeded by :func:`derive_fault_seed` ``(fault_seed,
+        algorithm, x)``, so fault schedules are independent across points
+        and curves rather than replaying one pattern sweep-wide.
+    tracer:
+        A :class:`~repro.observability.Tracer` attached to every run's
+        cluster; the sweep's runs lay out consecutively on its simulated
+        timeline (callers own ``tracer.close()``).
     """
     cluster = cluster or ClusterConfig()
-    if fault_seed is not None:
-        cluster = replace(
-            cluster,
-            fault_plan=FaultPlan(
-                seed=fault_seed,
-                crash_prob=crash_prob,
-                straggle_prob=straggle_prob,
-            ),
-        )
+    if tracer is not None:
+        cluster = replace(cluster, tracer=tracer)
     sweep = SweepResult(name=name, x_label=x_label)
     sweep.algorithms = list(factories)
 
     for x, relation in workloads:
         point = PointResult(x=x)
-        instances = {
-            algo_name: factory(cluster)
-            for algo_name, factory in factories.items()
-        }
+        instances = {}
+        for algo_name, factory in factories.items():
+            run_cluster = cluster
+            if fault_seed is not None:
+                run_cluster = replace(
+                    cluster,
+                    fault_plan=FaultPlan(
+                        seed=derive_fault_seed(fault_seed, algo_name, x),
+                        crash_prob=crash_prob,
+                        straggle_prob=straggle_prob,
+                    ),
+                )
+            instances[algo_name] = factory(run_cluster)
         runs = run_algorithms(relation, instances, verify=verify)
         for algo_name, run in runs.items():
             point.runs[algo_name] = run.metrics

@@ -41,6 +41,7 @@ from ..mapreduce.engine import (
     run_job,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import all_cuboids, project, projector
 from ..relation.relation import Relation
 from ..core.sampling import sampling_probability
@@ -71,6 +72,8 @@ class MRCube:
         m = self.cluster.derive_memory(n)
         d = relation.schema.num_dimensions
         metrics = RunMetrics(algorithm=self.name)
+        tracer = self.cluster.tracer or NULL_TRACER
+        self._run_base = tracer.clock
 
         # ---- round 1: sample and annotate the lattice ----------------------
         alpha = sampling_probability(n, k, m)
@@ -98,12 +101,18 @@ class MRCube:
         for (mask, values), value in final_pairs:
             cube.add(mask, values, value)
         metrics.output_groups = cube.num_groups
+        emit_run_span(
+            self.cluster.tracer or NULL_TRACER, metrics, self._run_base
+        )
         return CubeRun(cube=cube, metrics=metrics)
 
     def _aborted_run(
         self, relation: Relation, metrics: RunMetrics
     ) -> CubeRun:
         """A round exhausted its retry budget: stop, with no output."""
+        emit_run_span(
+            self.cluster.tracer or NULL_TRACER, metrics, self._run_base
+        )
         return CubeRun(cube=CubeResult(relation.schema), metrics=metrics)
 
     # -- round 1 ----------------------------------------------------------------

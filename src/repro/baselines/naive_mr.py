@@ -34,6 +34,7 @@ from ..mapreduce.engine import (
     run_job,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import all_cuboids, projector
 from ..relation.relation import Relation
 
@@ -64,6 +65,8 @@ class NaiveCube:
         aggregate = self.aggregate
 
         combiner = _PartialCombiner(aggregate) if self.use_combiner else None
+        tracer = self.cluster.tracer or NULL_TRACER
+        run_base = tracer.clock
 
         job = MapReduceJob(
             name="naive-cube",
@@ -78,6 +81,7 @@ class NaiveCube:
         for (mask, values), value in result.output:
             cube.add(mask, values, value)
         metrics.output_groups = cube.num_groups
+        emit_run_span(tracer, metrics, run_base)
         return CubeRun(cube=cube, metrics=metrics)
 
 

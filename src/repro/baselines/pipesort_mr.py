@@ -30,6 +30,7 @@ from ..mapreduce.engine import (
     run_job,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import full_mask, mask_size, project
 from ..relation.relation import Relation
 
@@ -56,6 +57,8 @@ class PipeSortMR:
         d = relation.schema.num_dimensions
         aggregate = self.aggregate
         metrics = RunMetrics(algorithm=self.name)
+        tracer = self.cluster.tracer or NULL_TRACER
+        self._run_base = tracer.clock
 
         # Round 0: the finest cuboid from the raw relation.
         job = MapReduceJob(
@@ -100,6 +103,7 @@ class PipeSortMR:
             cube.add(mask, values, aggregate.finalize(state))
         metrics.output_groups = cube.num_groups
         metrics.extras["rounds"] = len(metrics.jobs)
+        emit_run_span(tracer, metrics, self._run_base)
         return CubeRun(cube=cube, metrics=metrics)
 
     def _aborted_run(
@@ -107,6 +111,9 @@ class PipeSortMR:
     ) -> CubeRun:
         """A level round exhausted its retry budget: stop, no output."""
         metrics.extras["rounds"] = len(metrics.jobs)
+        emit_run_span(
+            self.cluster.tracer or NULL_TRACER, metrics, self._run_base
+        )
         return CubeRun(cube=CubeResult(relation.schema), metrics=metrics)
 
 

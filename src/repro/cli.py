@@ -2,10 +2,11 @@
 
 Commands
 --------
-``generate``  write one of the paper's workloads as a delimited text file
-``cube``      compute a cube from a text relation with a chosen engine
-``compare``   run several engines on a workload and print the comparison
-``sketch``    build and describe the SP-Sketch of a text relation
+``generate``       write one of the paper's workloads as a delimited file
+``cube``           compute a cube from a text relation with a chosen engine
+``compare``        run several engines on a workload, print the comparison
+``sketch``         build and describe the SP-Sketch of a text relation
+``analyze-trace``  summarize a trace file written with ``--trace``
 
 Examples::
 
@@ -14,6 +15,8 @@ Examples::
     python -m repro compare zipf --rows 10000
     python -m repro compare binomial --rows 10000 --fault-seed 7 --verify
     python -m repro sketch data.tsv
+    python -m repro cube data.tsv --fault-seed 7 --trace run.trace.jsonl
+    python -m repro analyze-trace run.trace.jsonl
 
 The ``cube`` and ``compare`` commands take fault-injection knobs
 (``--fault-seed``, ``--crash-prob``, ``--straggle-prob``,
@@ -21,6 +24,10 @@ The ``cube`` and ``compare`` commands take fault-injection knobs
 recovery are reproducible from the command line, plus ``--parallelism N``
 (or the ``REPRO_PARALLELISM`` environment variable) to fan map/reduce
 tasks out across worker processes — results are bit-identical to serial.
+Both also take observability knobs: ``--trace PATH`` writes a structured
+JSONL trace of the run (``--trace-level`` picks the detail), and
+``--progress`` prints live per-job/fault lines to stderr; see
+:mod:`repro.observability`.
 """
 
 from __future__ import annotations
@@ -42,6 +49,13 @@ from .datagen import (
     project_to_dimensions,
     usagov_clicks,
     wikipedia_traffic,
+)
+from .observability import (
+    JsonlSink,
+    ProgressSink,
+    TraceAnalysis,
+    TraceSchemaError,
+    Tracer,
 )
 from .relation import format_cuboid, format_group
 
@@ -97,6 +111,21 @@ def _cluster_from_args(args, num_rows: int):
         raise SystemExit(f"repro: error: {error}") from None
 
 
+def _tracer_from_args(args):
+    """Build the run's tracer from ``--trace``/``--progress`` (or None)."""
+    sinks = []
+    if args.trace:
+        sinks.append(JsonlSink(args.trace))
+    if args.progress:
+        sinks.append(ProgressSink())
+    if not sinks:
+        return None
+    try:
+        return Tracer(sinks, level=args.trace_level)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+
+
 def _print_survival(metrics) -> None:
     """One line on how the framework kept the run alive under faults."""
     print(
@@ -116,9 +145,16 @@ def _failure_reason(metrics) -> str:
 def cmd_cube(args) -> int:
     relation = repro_io.read_relation(args.input)
     cluster = _cluster_from_args(args, len(relation))
+    cluster.tracer = _tracer_from_args(args)
     engine_cls = ENGINES[args.engine]
     engine = engine_cls(cluster, get_aggregate(args.aggregate))
-    run = engine.compute(relation)
+    try:
+        run = engine.compute(relation)
+    finally:
+        if cluster.tracer is not None:
+            cluster.tracer.close()
+    if args.trace:
+        print(f"trace written to {args.trace}")
 
     if args.output:
         lines = repro_io.write_cube(run.cube, args.output)
@@ -138,11 +174,18 @@ def cmd_cube(args) -> int:
 def cmd_compare(args) -> int:
     relation = _generate_dataset(args.dataset, args.rows, args.skew, args.seed)
     cluster = _cluster_from_args(args, len(relation))
+    cluster.tracer = _tracer_from_args(args)
     engines = {
         name: ENGINES[name](cluster, get_aggregate(args.aggregate))
         for name in args.engines
     }
-    runs = run_algorithms(relation, engines, verify=args.verify)
+    try:
+        runs = run_algorithms(relation, engines, verify=args.verify)
+    finally:
+        if cluster.tracer is not None:
+            cluster.tracer.close()
+    if args.trace:
+        print(f"trace written to {args.trace}\n")
 
     with_faults = args.fault_seed is not None
     header = f"{'engine':12s}{'time(s)':>10s}{'traffic(MB)':>13s}{'status':>10s}"
@@ -199,6 +242,41 @@ def cmd_sketch(args) -> int:
         size = repro_io.write_sketch(sketch, args.output)
         print(f"  written to {args.output} ({size} bytes)")
     return 0
+
+
+def cmd_analyze_trace(args) -> int:
+    try:
+        analysis = TraceAnalysis.from_file(args.trace_file)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    if args.validate:
+        try:
+            analysis.validate()
+        except TraceSchemaError as error:
+            print(f"trace schema violation: {error}", file=sys.stderr)
+            return 1
+        print(f"{len(analysis.records)} records, schema ok")
+    print(analysis.format_summary())
+    return 0
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    """Observability knobs shared by the cube-computing commands."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a structured JSONL trace of the run "
+             "(inspect with 'repro analyze-trace PATH')",
+    )
+    group.add_argument(
+        "--trace-level", choices=["job", "task", "debug"], default="task",
+        help="trace detail: job = run/job/phase spans, task = + per-attempt "
+             "spans and fault events, debug = + route/spill detail",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="print live per-job and per-fault progress lines to stderr",
+    )
 
 
 def _add_execution_args(parser: argparse.ArgumentParser) -> None:
@@ -259,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     cube.add_argument("-o", "--output")
     _add_execution_args(cube)
     _add_fault_args(cube)
+    _add_trace_args(cube)
     cube.set_defaults(fn=cmd_cube)
 
     compare = sub.add_parser("compare", help="run engines side by side")
@@ -280,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cross-check that all cubes agree")
     _add_execution_args(compare)
     _add_fault_args(compare)
+    _add_trace_args(compare)
     compare.set_defaults(fn=cmd_compare)
 
     sketch = sub.add_parser("sketch", help="build and describe an SP-Sketch")
@@ -291,6 +371,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skewed groups to list")
     sketch.add_argument("-o", "--output", help="write the sketch as JSON")
     sketch.set_defaults(fn=cmd_sketch)
+
+    analyze = sub.add_parser(
+        "analyze-trace",
+        help="summarize a trace file: per-reducer load, attempt chains, "
+             "straggler timelines, recovery cost",
+    )
+    analyze.add_argument("trace_file")
+    analyze.add_argument(
+        "--validate", action="store_true",
+        help="check every record against the trace schema first "
+             "(exit 1 on violation)",
+    )
+    analyze.set_defaults(fn=cmd_analyze_trace)
 
     return parser
 

@@ -55,6 +55,7 @@ from ..mapreduce.engine import (
     stable_hash,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import project
 from ..relation.relation import Relation
 from .planner import TuplePlan, plan_for_skew_bits, plan_without_covering
@@ -120,11 +121,14 @@ class SPCube:
         k = self.cluster.num_machines
         m = self.cluster.derive_memory(n)
         metrics = RunMetrics(algorithm=self.name)
+        tracer = self.cluster.tracer or NULL_TRACER
+        run_base = tracer.clock
 
         sketch = self._round_one(relation, n, k, m, metrics)
         if metrics.jobs and metrics.jobs[-1].aborted:
             # Round 1 exhausted a task's retry budget: the driver aborts
             # the run before the cube round, as a real JobTracker would.
+            emit_run_span(tracer, metrics, run_base)
             return CubeRun(
                 cube=CubeResult(relation.schema), metrics=metrics,
                 sketch=sketch,
@@ -132,9 +136,19 @@ class SPCube:
         self.dfs.write(SKETCH_PATH, [sketch.to_payload()])
         metrics.extras["sketch_bytes"] = sketch.serialized_bytes()
         metrics.extras["num_skewed_groups"] = sketch.num_skewed
+        if tracer.enabled:
+            tracer.event(
+                "sketch", at=tracer.clock, job="sp-sketch",
+                fields={
+                    "bytes": sketch.serialized_bytes(),
+                    "skewed_groups": sketch.num_skewed,
+                    "sample_size": metrics.extras.get("sample_size", 0),
+                },
+            )
 
         cube = self._round_two(relation, sketch, k, m, metrics)
         metrics.output_groups = cube.num_groups
+        emit_run_span(tracer, metrics, run_base)
         return CubeRun(cube=cube, metrics=metrics, sketch=sketch)
 
     # -- round 1: sketch ---------------------------------------------------------

@@ -35,7 +35,12 @@ from .executor import (
     run_task_chain,
 )
 from .faults import NO_FAULTS, FaultPlan, FaultSpec, RetryPolicy
-from .metrics import JobMetrics, RunMetrics, TaskMetrics
+from .metrics import (
+    JobMetrics,
+    MetricsInvariantError,
+    RunMetrics,
+    TaskMetrics,
+)
 from .sizes import estimate_bytes, pair_bytes, relation_bytes
 
 __all__ = [
@@ -72,6 +77,7 @@ __all__ = [
     "resolve_parallelism",
     "run_task_chain",
     "JobMetrics",
+    "MetricsInvariantError",
     "RunMetrics",
     "TaskMetrics",
     "estimate_bytes",

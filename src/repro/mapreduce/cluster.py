@@ -52,6 +52,10 @@ class ClusterConfig:
         ``None`` defers to the ``REPRO_PARALLELISM`` environment variable
         (default 1 = serial).  Parallel runs are bit-identical to serial
         ones; see :mod:`repro.mapreduce.executor`.
+    tracer:
+        A :class:`~repro.observability.Tracer` receiving span/event
+        records from every job run on this cluster (``None`` = the
+        zero-overhead null tracer); see :mod:`repro.observability`.
     """
 
     num_machines: int = 20
@@ -62,6 +66,7 @@ class ClusterConfig:
     fault_plan: Optional[FaultPlan] = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     parallelism: Optional[int] = None
+    tracer: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.num_machines <= 0:
@@ -102,4 +107,5 @@ class ClusterConfig:
             fault_plan=self.fault_plan,
             retry_policy=self.retry_policy,
             parallelism=self.parallelism,
+            tracer=self.tracer,
         )

@@ -52,6 +52,17 @@ attempts governed by the cluster's
 Injected faults may only change the simulated clock and the fault
 counters; the data flow (and therefore the cube) is bit-identical to a
 fault-free run unless the job aborts.
+
+**Tracing.**  When the cluster carries a
+:class:`~repro.observability.Tracer`, ``run_job`` emits structured span
+and event records onto the simulated timeline: one attempt span per task
+execution, fault events (crash/straggle/speculation), phase spans and a
+job span, plus route/spill detail at debug level.  Task chains buffer
+their records locally (safe in worker processes) and the driver offsets
+and emits them in task-index order, so trace files are bit-identical
+across execution backends.  With no tracer attached the engine touches a
+single ``enabled`` flag per job — metrics and outputs are identical with
+tracing on or off.
 """
 
 from __future__ import annotations
@@ -69,6 +80,11 @@ from typing import (
     Tuple,
 )
 
+from ..observability.tracer import (
+    LEVEL_DEBUG,
+    LEVEL_TASK,
+    NULL_TRACER,
+)
 from .cluster import ClusterConfig
 from .costmodel import CostModel
 from .executor import SerialExecutor, TaskOutcome, run_task_chain
@@ -456,6 +472,7 @@ class _MapTask:
         cost: CostModel,
         faults: FaultPlan,
         retry: RetryPolicy,
+        trace: bool = False,
     ):
         self.job = job
         self.machine = machine
@@ -466,6 +483,7 @@ class _MapTask:
         self.cost = cost
         self.faults = faults
         self.retry = retry
+        self.trace = trace
 
     def __call__(self) -> TaskOutcome:
         return run_task_chain(
@@ -476,6 +494,7 @@ class _MapTask:
             faults=self.faults,
             retry=self.retry,
             cost=self.cost,
+            trace=self.trace,
         )
 
     def _attempt(self) -> Tuple[TaskMetrics, List]:
@@ -515,6 +534,7 @@ class _MapTask:
         task.seconds = self.cost.map_task_seconds(
             task.cpu_ops, task.bytes_out
         )
+        task.counters = context.counters
         return task, routed
 
 
@@ -533,6 +553,7 @@ class _ReduceTask:
         cost: CostModel,
         faults: FaultPlan,
         retry: RetryPolicy,
+        trace: bool = False,
     ):
         self.job = job
         self.machine = machine
@@ -544,6 +565,7 @@ class _ReduceTask:
         self.cost = cost
         self.faults = faults
         self.retry = retry
+        self.trace = trace
 
     def __call__(self) -> TaskOutcome:
         return run_task_chain(
@@ -554,6 +576,7 @@ class _ReduceTask:
             faults=self.faults,
             retry=self.retry,
             cost=self.cost,
+            trace=self.trace,
         )
 
     def _attempt(self) -> Tuple[TaskMetrics, Tuple]:
@@ -620,6 +643,7 @@ class _ReduceTask:
         task.seconds = self.cost.reduce_task_seconds(
             task.cpu_ops, task.spilled_records, task.bytes_out
         )
+        task.counters = context.counters
         return task, (reducer_output, oom_flagged)
 
 
@@ -678,11 +702,17 @@ def run_job(
         executor = SerialExecutor()
     metrics.executor = executor.name
 
+    tracer = cluster.tracer or NULL_TRACER
+    trace_on = tracer.enabled
+    trace_tasks = trace_on and tracer.level >= LEVEL_TASK
+    trace_debug = trace_on and tracer.level >= LEVEL_DEBUG
+    job_base = tracer.clock
+
     # ---- map phase --------------------------------------------------------
     map_tasks = [
         _MapTask(
             job, machine, chunk, num_reducers, cluster.num_machines,
-            memory_records, cost, faults, retry,
+            memory_records, cost, faults, retry, trace_tasks,
         )
         for machine, chunk in enumerate(input_chunks)
     ]
@@ -690,11 +720,14 @@ def run_job(
     outcomes = executor.run_tasks(map_tasks, stop_early=_chain_exhausted)
     metrics.map_phase_wall_seconds = time.perf_counter() - phase_started
 
+    map_start = job_base + cost.round_startup_seconds
     reducer_buckets: List[List[Pair]] = [[] for _ in range(num_reducers)]
     reducer_bytes = [0] * num_reducers
     dead_chain_seconds = 0.0
     for machine, outcome in enumerate(outcomes):
         _merge_outcome(metrics, outcome)
+        if trace_tasks:
+            _emit_chain_trace(tracer, outcome, map_start)
         if outcome.task is None:
             metrics.aborted = True
             metrics.abort_reason = (
@@ -702,11 +735,22 @@ def run_job(
                 f"{retry.max_attempts} attempts"
             )
             dead_chain_seconds = outcome.chain_seconds
+            if trace_on:
+                tracer.event(
+                    "abort", at=map_start + outcome.chain_seconds,
+                    job=job.name, phase="map", task=machine,
+                    fields={"reason": metrics.abort_reason},
+                )
             break
         task = outcome.task
         for target, pair, size in outcome.payload:
             reducer_buckets[target].append(pair)
             reducer_bytes[target] += size
+        if trace_debug:
+            _emit_route_event(
+                tracer, job.name, machine, outcome.payload,
+                map_start + task.seconds,
+            )
         metrics.map_tasks.append(task)
         metrics.map_output_bytes += task.bytes_out
         metrics.map_output_records += task.records_out
@@ -715,15 +759,28 @@ def run_job(
         max((t.seconds for t in metrics.map_tasks), default=0.0),
         dead_chain_seconds,
     )
+    if trace_on:
+        _emit_phase_span(tracer, job.name, "map", job_base, metrics)
 
     if metrics.aborted:
         metrics.total_seconds = metrics.map_phase_seconds
+        if trace_on:
+            _finish_job_trace(tracer, job.name, metrics, job_base)
         return JobResult(output=[], metrics=metrics, reducer_outputs=[])
 
     # ---- shuffle ----------------------------------------------------------
     metrics.shuffle_seconds = cost.shuffle_seconds(
         max(reducer_bytes, default=0)
     )
+    if trace_on:
+        tracer.event(
+            "shuffle", at=job_base + metrics.map_phase_seconds,
+            job=job.name,
+            fields={
+                "seconds": metrics.shuffle_seconds,
+                "max_reducer_bytes": max(reducer_bytes, default=0),
+            },
+        )
 
     # ---- reduce phase -----------------------------------------------------
     physical = cluster.physical_memory(memory_records)
@@ -731,6 +788,7 @@ def run_job(
         _ReduceTask(
             job, machine, bucket, reducer_bytes[machine], physical,
             cluster.num_machines, memory_records, cost, faults, retry,
+            trace_tasks,
         )
         for machine, bucket in enumerate(reducer_buckets)
     ]
@@ -738,11 +796,15 @@ def run_job(
     outcomes = executor.run_tasks(reduce_tasks, stop_early=_chain_exhausted)
     metrics.reduce_phase_wall_seconds = time.perf_counter() - phase_started
 
+    reduce_base = job_base + metrics.map_phase_seconds + metrics.shuffle_seconds
+    reduce_start = reduce_base + cost.round_startup_seconds
     output: List[Pair] = []
     reducer_outputs: List[List[Pair]] = []
     dead_chain_seconds = 0.0
     for machine, outcome in enumerate(outcomes):
         _merge_outcome(metrics, outcome)
+        if trace_tasks:
+            _emit_chain_trace(tracer, outcome, reduce_start)
         if outcome.task is None:
             metrics.aborted = True
             metrics.abort_reason = (
@@ -750,11 +812,30 @@ def run_job(
                 f"{retry.max_attempts} attempts"
             )
             dead_chain_seconds = outcome.chain_seconds
+            if trace_on:
+                tracer.event(
+                    "abort", at=reduce_start + outcome.chain_seconds,
+                    job=job.name, phase="reduce", task=machine,
+                    fields={"reason": metrics.abort_reason},
+                )
             break
         reducer_output, oom_flagged = outcome.payload
+        task = outcome.task
         if oom_flagged:
             metrics.oom_reducers.append(machine)
-        metrics.reduce_tasks.append(outcome.task)
+            if trace_on:
+                tracer.event(
+                    "oom", at=reduce_start + task.seconds,
+                    job=job.name, phase="reduce", task=machine,
+                    fields={"records_in": task.records_in},
+                )
+        if trace_debug and task.spilled_records:
+            tracer.event(
+                "spill", at=reduce_start + task.seconds,
+                job=job.name, phase="reduce", task=machine,
+                fields={"records": task.spilled_records},
+            )
+        metrics.reduce_tasks.append(task)
         output.extend(reducer_output)
         reducer_outputs.append(reducer_output)
 
@@ -767,11 +848,91 @@ def run_job(
         + metrics.shuffle_seconds
         + metrics.reduce_phase_seconds
     )
+    if trace_on:
+        _emit_phase_span(tracer, job.name, "reduce", reduce_base, metrics)
+        _finish_job_trace(tracer, job.name, metrics, job_base)
     if metrics.aborted:
         return JobResult(output=[], metrics=metrics, reducer_outputs=[])
     return JobResult(
         output=output, metrics=metrics, reducer_outputs=reducer_outputs
     )
+
+
+def _emit_chain_trace(tracer, outcome: TaskOutcome, phase_start: float) -> None:
+    """Shift a chain's buffered records onto the timeline and emit them.
+
+    Chains buffer records with chain-relative times (they may have run in
+    a worker process); the driver calls this in task-index order, so the
+    trace stream is bit-identical across execution backends.
+    """
+    for record in outcome.trace or ():
+        if record["type"] == "span":
+            record["t0"] += phase_start
+            record["t1"] += phase_start
+        else:
+            record["at"] += phase_start
+        tracer.emit(record)
+
+
+def _emit_route_event(
+    tracer, job_name: str, machine: int, payload, at: float
+) -> None:
+    """Debug-level shuffle routing summary for one map task."""
+    targets: Dict[str, int] = {}
+    for target, _pair, _size in payload:
+        key = str(target)
+        targets[key] = targets.get(key, 0) + 1
+    tracer.event(
+        "route", at=at, job=job_name, phase="map", task=machine,
+        fields={"targets": targets},
+    )
+
+
+def _emit_phase_span(
+    tracer, job_name: str, phase: str, base: float, metrics: JobMetrics
+) -> None:
+    tasks = metrics.map_tasks if phase == "map" else metrics.reduce_tasks
+    seconds = (
+        metrics.map_phase_seconds
+        if phase == "map"
+        else metrics.reduce_phase_seconds
+    )
+    tracer.span(
+        "phase", name=phase, job=job_name, phase=phase,
+        t0=base, t1=base + seconds,
+        status="aborted" if metrics.aborted else "ok",
+        counters={
+            "tasks": len(tasks),
+            "records_out": sum(t.records_out for t in tasks),
+            "bytes_out": sum(t.bytes_out for t in tasks),
+        },
+    )
+
+
+def _finish_job_trace(
+    tracer, job_name: str, metrics: JobMetrics, job_base: float
+) -> None:
+    """Emit the round's job span and advance the simulated clock."""
+    if metrics.aborted:
+        status = "aborted"
+    elif metrics.failed:
+        status = "failed"
+    else:
+        status = "ok"
+    tracer.span(
+        "job", name=job_name, job=job_name,
+        t0=job_base, t1=job_base + metrics.total_seconds, status=status,
+        counters={
+            "map_output_records": metrics.map_output_records,
+            "map_output_bytes": metrics.map_output_bytes,
+            "attempts": metrics.attempts,
+            "killed_tasks": metrics.killed_tasks,
+            "speculative_wins": metrics.speculative_wins,
+            "recovered": metrics.recovered,
+            "oom_reducers": len(metrics.oom_reducers),
+        },
+    )
+    tracer.advance(metrics.total_seconds)
 
 
 def _apply_combiner(

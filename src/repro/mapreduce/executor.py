@@ -69,6 +69,12 @@ class TaskOutcome:
     speculative_wins: int = 0
     recovered: int = 0
     killed_attempts: List[TaskMetrics] = field(default_factory=list)
+    #: Chain-local trace records (attempt spans + fault events) with
+    #: times relative to the chain's start; ``None`` unless the chain ran
+    #: with ``trace=True``.  The driver offsets them onto the simulated
+    #: timeline and emits them in task-index order, which is what makes
+    #: trace files bit-identical across serial and parallel backends.
+    trace: Optional[List[dict]] = None
 
     @property
     def exhausted(self) -> bool:
@@ -85,6 +91,7 @@ def run_task_chain(
     faults: FaultPlan,
     retry: RetryPolicy,
     cost: CostModel,
+    trace: bool = False,
 ) -> TaskOutcome:
     """Drive one logical task through crash-retry and speculation.
 
@@ -94,8 +101,17 @@ def run_task_chain(
     covers the whole chain of failed attempts, detection delays, backoffs
     and the winner; an exhausted budget yields ``task=None`` with the
     dead chain's accumulated seconds.
+
+    With ``trace=True`` the chain also buffers one attempt span per
+    execution and one event per injected fault into ``outcome.trace``,
+    with chain-relative times — safe to build in a worker process and
+    merged deterministically by the driver (see
+    :mod:`repro.observability.tracer`).
     """
     outcome = TaskOutcome(task=None, payload=None)
+    records: Optional[List[dict]] = [] if trace else None
+    if trace:
+        outcome.trace = records
     chain_seconds = 0.0
     for attempt in range(retry.max_attempts):
         task, payload = attempt_fn()
@@ -107,16 +123,39 @@ def run_task_chain(
             # The attempt dies and its output is discarded; the chain pays
             # for the lost work, the heartbeat timeout, and the backoff.
             task.killed = True
-            chain_seconds += cost.retry_overhead_seconds(
-                nominal, retry.backoff_seconds(attempt + 1)
-            )
+            backoff = retry.backoff_seconds(attempt + 1)
+            if records is not None:
+                records.append(
+                    _attempt_span(
+                        job_name, phase, machine, attempt,
+                        chain_seconds, chain_seconds + nominal,
+                        "killed", task,
+                    )
+                )
+                records.append({
+                    "type": "event", "kind": "crash",
+                    "job": job_name, "phase": phase, "task": machine,
+                    "attempt": attempt, "at": chain_seconds + nominal,
+                    "fields": {
+                        "lost_seconds": nominal,
+                        "detection_seconds": cost.crash_detection_seconds,
+                        "backoff_seconds": backoff,
+                    },
+                })
+            chain_seconds += cost.retry_overhead_seconds(nominal, backoff)
             outcome.killed_tasks += 1
             outcome.killed_attempts.append(task)
             continue
 
-        seconds = nominal * faults.slowdown_factor(
-            job_name, phase, machine, attempt
-        )
+        factor = faults.slowdown_factor(job_name, phase, machine, attempt)
+        seconds = nominal * factor
+        if records is not None and factor > 1.0:
+            records.append({
+                "type": "event", "kind": "straggle",
+                "job": job_name, "phase": phase, "task": machine,
+                "attempt": attempt, "at": chain_seconds,
+                "fields": {"factor": factor, "nominal_seconds": nominal},
+            })
         if (
             retry.speculation_enabled
             and nominal > 0.0
@@ -128,12 +167,33 @@ def run_task_chain(
             backup_seconds = cost.speculation_launch_seconds + nominal
             outcome.attempts += 1
             outcome.killed_tasks += 1
-            if backup_seconds < seconds:
+            won = backup_seconds < seconds
+            if records is not None:
+                records.append({
+                    "type": "event", "kind": "speculation",
+                    "job": job_name, "phase": phase, "task": machine,
+                    "attempt": attempt, "at": chain_seconds,
+                    "fields": {
+                        "won": won,
+                        "backup_seconds": backup_seconds,
+                        "slowed_seconds": seconds,
+                    },
+                })
+            if won:
                 seconds = backup_seconds
                 task.speculative = True
                 outcome.speculative_wins += 1
 
         task.seconds = chain_seconds + seconds
+        task.overhead_seconds = chain_seconds + (seconds - nominal)
+        if records is not None:
+            records.append(
+                _attempt_span(
+                    job_name, phase, machine, attempt,
+                    chain_seconds, chain_seconds + seconds,
+                    "speculative" if task.speculative else "ok", task,
+                )
+            )
         if attempt > 0 or task.speculative:
             outcome.recovered += 1
         outcome.task = task
@@ -142,6 +202,27 @@ def run_task_chain(
         return outcome
     outcome.chain_seconds = chain_seconds
     return outcome
+
+
+def _attempt_span(
+    job_name: str,
+    phase: str,
+    machine: int,
+    attempt: int,
+    t0: float,
+    t1: float,
+    status: str,
+    task: TaskMetrics,
+) -> dict:
+    """One attempt's span record (chain-relative times, no seq yet)."""
+    from ..observability.tracer import attempt_counters
+
+    return {
+        "type": "span", "kind": "attempt", "name": phase,
+        "job": job_name, "phase": phase, "task": machine,
+        "attempt": attempt, "t0": t0, "t1": t1, "status": status,
+        "counters": attempt_counters(task),
+    }
 
 
 class SerialExecutor:

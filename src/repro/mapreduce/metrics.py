@@ -9,8 +9,12 @@ extras (e.g. the SP-Sketch serialized size).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional
+
+
+class MetricsInvariantError(AssertionError):
+    """A metrics object violates the engine's accounting contract."""
 
 
 @dataclass
@@ -35,6 +39,24 @@ class TaskMetrics:
     killed: bool = False
     #: True when the task was completed by a speculative backup copy.
     speculative: bool = False
+    #: Simulated seconds this chain spent *beyond* the winning attempt's
+    #: nominal fault-free runtime: lost attempts, crash detection,
+    #: scheduler backoff, and residual straggle after speculation.  Only
+    #: the winning attempt carries it (killed attempts keep 0.0), so
+    #: summing over ``map_tasks``/``reduce_tasks`` counts every chain's
+    #: recovery cost exactly once.
+    overhead_seconds: float = 0.0
+    #: User counters bumped through ``TaskContext.incr`` during the
+    #: attempt (e.g. SP-Cube's skewed-group hits).
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form, for archiving and cross-PR diffing."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TaskMetrics":
+        return cls(**data)
 
 
 @dataclass
@@ -124,6 +146,101 @@ class JobMetrics:
             or len(self.oom_reducers) >= self.oom_quorum
         )
 
+    @property
+    def recovery_overhead_seconds(self) -> float:
+        """Simulated seconds this round spent on fault recovery.
+
+        Summed over winning attempts only — killed attempts' lost time is
+        charged to their chain's winner (see
+        ``TaskMetrics.overhead_seconds``), so nothing is double-counted.
+        An aborted round's dead chain has no winner; its cost shows in
+        the phase time but not here.
+        """
+        return sum(
+            t.overhead_seconds for t in self.map_tasks
+        ) + sum(t.overhead_seconds for t in self.reduce_tasks)
+
+    def check_invariants(self) -> None:
+        """Enforce the engine's accounting contract; raise on violation.
+
+        The headline invariant: wall-clock and byte totals include every
+        killed attempt **exactly once** — via its chain winner's
+        ``seconds``/``overhead_seconds``, never via the task lists that
+        the byte totals and per-task averages are computed from.
+        """
+        problems: List[str] = []
+        winners = self.map_tasks + self.reduce_tasks
+        if any(t.killed for t in winners):
+            problems.append("a killed attempt leaked into the task lists")
+        if not all(t.killed for t in self.killed_attempts):
+            problems.append("killed_attempts holds a non-killed record")
+        if any(t.overhead_seconds for t in self.killed_attempts):
+            problems.append(
+                "a killed attempt carries overhead_seconds (its cost "
+                "belongs to the chain winner)"
+            )
+        # Every attempt either won (one entry in the task lists) or was
+        # killed; speculative losing copies count in killed_tasks only.
+        if self.attempts != len(winners) + self.killed_tasks:
+            problems.append(
+                f"attempts={self.attempts} != "
+                f"{len(winners)} winners + {self.killed_tasks} killed"
+            )
+        if self.killed_tasks < len(self.killed_attempts):
+            problems.append(
+                "killed_tasks is below the recorded killed attempts"
+            )
+        if self.speculative_wins != sum(1 for t in winners if t.speculative):
+            problems.append("speculative_wins disagrees with task flags")
+        if self.map_output_bytes != sum(t.bytes_out for t in self.map_tasks):
+            problems.append(
+                "map_output_bytes does not equal the winning map "
+                "attempts' bytes (killed attempts must not contribute)"
+            )
+        if self.map_output_records != sum(
+            t.records_out for t in self.map_tasks
+        ):
+            problems.append(
+                "map_output_records does not equal the winning map "
+                "attempts' records"
+            )
+        if not self.aborted and self.total_seconds and abs(
+            self.total_seconds
+            - (
+                self.map_phase_seconds
+                + self.shuffle_seconds
+                + self.reduce_phase_seconds
+            )
+        ) > 1e-9:
+            problems.append("total_seconds is not the sum of its phases")
+        if problems:
+            raise MetricsInvariantError(
+                f"job {self.name!r}: " + "; ".join(problems)
+            )
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form (nested task records included)."""
+        data = asdict(self)
+        data["map_tasks"] = [t.to_dict() for t in self.map_tasks]
+        data["reduce_tasks"] = [t.to_dict() for t in self.reduce_tasks]
+        data["killed_attempts"] = [
+            t.to_dict() for t in self.killed_attempts
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobMetrics":
+        data = dict(data)
+        for task_field in ("map_tasks", "reduce_tasks", "killed_attempts"):
+            data[task_field] = [
+                TaskMetrics.from_dict(t) for t in data.get(task_field, [])
+            ]
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown JobMetrics fields: {sorted(unknown)}")
+        return cls(**data)
+
 
 @dataclass
 class RunMetrics:
@@ -203,6 +320,39 @@ class RunMetrics:
     def recovered(self) -> int:
         """Tasks that failed at least once but ultimately succeeded."""
         return sum(job.recovered for job in self.jobs)
+
+    def recovery_overhead(self) -> float:
+        """Simulated seconds the run spent on fault recovery, across
+        rounds — lost attempts, detection delays, backoffs, and residual
+        straggle after speculation.  Each chain's cost is counted exactly
+        once, on its winning attempt (see
+        ``JobMetrics.recovery_overhead_seconds``)."""
+        return sum(job.recovery_overhead_seconds for job in self.jobs)
+
+    def check_invariants(self) -> None:
+        """Run every round's accounting checks (see ``JobMetrics``)."""
+        for job in self.jobs:
+            job.check_invariants()
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form, for archiving and cross-PR diffing."""
+        return {
+            "algorithm": self.algorithm,
+            "jobs": [job.to_dict() for job in self.jobs],
+            "extras": dict(self.extras),
+            "output_groups": self.output_groups,
+            "fatal_error": self.fatal_error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunMetrics":
+        return cls(
+            algorithm=data["algorithm"],
+            jobs=[JobMetrics.from_dict(j) for j in data.get("jobs", [])],
+            extras=dict(data.get("extras", {})),
+            output_groups=data.get("output_groups", 0),
+            fatal_error=data.get("fatal_error"),
+        )
 
     @property
     def reducer_balance(self) -> float:

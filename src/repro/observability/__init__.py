@@ -1,0 +1,79 @@
+"""Observability for the simulated cluster: tracing, counters, analysis.
+
+The paper's evaluation is an observability exercise — running time,
+per-task averages, shuffled bytes, sketch size — and the fault layer and
+parallel executor add per-task dynamics (retries, speculation, spills)
+that post-hoc aggregates cannot show.  This package provides:
+
+* :class:`Tracer` + sinks — structured span/event records emitted by the
+  engine and the cube engines (:mod:`repro.observability.tracer`);
+* the record schema and its validator
+  (:mod:`repro.observability.schema`);
+* :class:`TraceAnalysis` — per-reducer load, attempt chains and
+  straggler timelines reconstructed from a trace file
+  (:mod:`repro.observability.analyze`).
+
+Attach a tracer to a :class:`~repro.mapreduce.ClusterConfig` and every
+job run on that cluster is traced::
+
+    from repro.observability import JsonlSink, Tracer
+
+    tracer = Tracer([JsonlSink("run.trace.jsonl")], level="task")
+    cluster = ClusterConfig(num_machines=20, tracer=tracer)
+    SPCube(cluster).compute(relation)
+    tracer.close()
+
+or use the CLI: ``python -m repro cube data.tsv --trace run.trace.jsonl``
+then ``python -m repro analyze-trace run.trace.jsonl``.
+"""
+
+from .analyze import TraceAnalysis, load_trace
+from .schema import (
+    EVENT_KINDS,
+    SPAN_KINDS,
+    SPAN_STATUSES,
+    TraceSchemaError,
+    record_problems,
+    validate_record,
+    validate_records,
+)
+from .tracer import (
+    LEVEL_DEBUG,
+    LEVEL_JOB,
+    LEVEL_OFF,
+    LEVEL_TASK,
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    ProgressSink,
+    Tracer,
+    attempt_counters,
+    emit_run_span,
+    level_from_name,
+)
+
+__all__ = [
+    "TraceAnalysis",
+    "load_trace",
+    "EVENT_KINDS",
+    "SPAN_KINDS",
+    "SPAN_STATUSES",
+    "TraceSchemaError",
+    "record_problems",
+    "validate_record",
+    "validate_records",
+    "LEVEL_DEBUG",
+    "LEVEL_JOB",
+    "LEVEL_OFF",
+    "LEVEL_TASK",
+    "NULL_TRACER",
+    "JsonlSink",
+    "MemorySink",
+    "NullTracer",
+    "ProgressSink",
+    "Tracer",
+    "attempt_counters",
+    "emit_run_span",
+    "level_from_name",
+]

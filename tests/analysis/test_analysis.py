@@ -196,3 +196,57 @@ class TestHelpers:
         points = subsample_sweep(rel, [50, 100], seed=1)
         assert [x for x, _r in points] == [50.0, 100.0]
         assert [len(r) for _x, r in points] == [50, 100]
+
+
+class TestPerPointFaultSeeds:
+    """Satellite of the observability PR: each (point, algorithm) run of a
+    faulted sweep draws its own FaultPlan seed via derive_fault_seed."""
+
+    def test_derivation_is_pure_and_documented(self):
+        import zlib
+
+        from repro.analysis import derive_fault_seed
+
+        assert derive_fault_seed(12, "SP-Cube", 100.0) == zlib.crc32(
+            repr((12, "SP-Cube", 100.0)).encode("utf-8")
+        )
+        # Stable across calls and sensitive to every component.
+        base = derive_fault_seed(12, "SP-Cube", 100.0)
+        assert derive_fault_seed(12, "SP-Cube", 100.0) == base
+        assert derive_fault_seed(13, "SP-Cube", 100.0) != base
+        assert derive_fault_seed(12, "Naive", 100.0) != base
+        assert derive_fault_seed(12, "SP-Cube", 200.0) != base
+
+    def test_sweep_points_face_independent_schedules(self, cluster):
+        """With a shared seed the same task identities replay the same coin
+        flips at every point; per-point derivation must break that."""
+        sweep = run_sweep(
+            "demo", "n", tiny_workloads(), FACTORIES, cluster,
+            fault_seed=12, crash_prob=0.2, straggle_prob=0.2,
+        )
+        per_point = [
+            tuple(
+                (name, run.attempts, run.killed_tasks)
+                for name, run in point.runs.items()
+            )
+            for point in sweep.points
+        ]
+        # Two points over equally-shaped workloads: identical recovery
+        # fingerprints at both would mean the schedules were shared.
+        assert per_point[0] != per_point[1]
+
+    def test_tracer_covers_every_sweep_run(self, cluster):
+        from repro.observability import MemorySink, TraceAnalysis, Tracer
+
+        sink = MemorySink()
+        tracer = Tracer([sink], level="job")
+        run_sweep(
+            "demo", "n", tiny_workloads(), FACTORIES, cluster,
+            tracer=tracer,
+        )
+        analysis = TraceAnalysis(sink.records)
+        # 2 points x 2 algorithms = 4 run spans on one global timeline.
+        assert len(analysis.runs) == 4
+        starts = [span["t0"] for span in analysis.runs]
+        assert starts == sorted(starts)
+        assert starts[-1] > 0.0

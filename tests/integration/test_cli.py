@@ -165,3 +165,56 @@ class TestSketch:
         main(["generate", "binomial", "--rows", "300", "-o", data])
         assert main(["sketch", data, "--exact", "--machines", "3"]) == 0
         assert "exact" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_cube_trace_then_analyze(self, tmp_path, capsys):
+        data = str(tmp_path / "data.tsv")
+        trace = str(tmp_path / "run.trace.jsonl")
+        main(["generate", "zipf", "--rows", "600", "-o", data])
+        code = main(
+            ["cube", data, "--machines", "6", "--fault-seed", "7",
+             "--trace", trace, "--trace-level", "debug"]
+        )
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        code = main(["analyze-trace", trace, "--validate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schema ok" in out
+        assert "run SP-Cube" in out
+        assert "per-reducer records" in out
+
+    def test_compare_trace_covers_all_engines(self, tmp_path, capsys):
+        trace = str(tmp_path / "cmp.trace.jsonl")
+        code = main(
+            ["compare", "zipf", "--rows", "400", "--machines", "4",
+             "--engines", "spcube", "naive", "--trace", trace]
+        )
+        assert code == 0
+        code = main(["analyze-trace", trace])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run SP-Cube" in out
+        assert "run Naive-MR" in out
+
+    def test_progress_prints_to_stderr(self, tmp_path, capsys):
+        data = str(tmp_path / "data.tsv")
+        main(["generate", "zipf", "--rows", "300", "-o", data])
+        assert main(
+            ["cube", data, "--machines", "4", "--progress"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "[job ]" in err
+        assert "[run ]" in err
+
+    def test_analyze_trace_missing_file(self):
+        with pytest.raises(SystemExit, match="error"):
+            main(["analyze-trace", "/nonexistent/trace.jsonl"])
+
+    def test_analyze_trace_validate_fails_on_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "kind": "mystery"}\n')
+        code = main(["analyze-trace", str(bad), "--validate"])
+        assert code == 1
+        assert "schema violation" in capsys.readouterr().err

@@ -93,3 +93,152 @@ class TestRunMetrics:
         run = RunMetrics(algorithm="x")
         run.extras["sketch_bytes"] = 123
         assert run.extras["sketch_bytes"] == 123
+
+
+class TestRecoveryAccounting:
+    """Satellite of the observability PR: killed attempts are counted in
+    the wall-clock/byte totals exactly once, via their chain winner."""
+
+    def faulted_job(self):
+        job = JobMetrics(name="j")
+        killed = TaskMetrics(
+            machine=0, seconds=4.0, bytes_out=100, records_out=10,
+            killed=True,
+        )
+        winner = TaskMetrics(
+            machine=0, seconds=20.0, bytes_out=100, records_out=10,
+            attempt=1, overhead_seconds=16.0,
+        )
+        clean = TaskMetrics(
+            machine=1, seconds=4.0, bytes_out=50, records_out=5
+        )
+        job.killed_attempts.append(killed)
+        job.map_tasks.extend([winner, clean])
+        job.map_output_bytes = 150
+        job.map_output_records = 15
+        job.attempts = 3
+        job.killed_tasks = 1
+        job.recovered = 1
+        job.map_phase_seconds = 25.0
+        job.total_seconds = 25.0
+        job.shuffle_seconds = 0.0
+        job.reduce_phase_seconds = 0.0
+        return job
+
+    def test_clean_job_passes(self):
+        job = self.faulted_job()
+        job.check_invariants()
+
+    def test_recovery_overhead_sums_winners_only(self):
+        job = self.faulted_job()
+        assert job.recovery_overhead_seconds == 16.0
+        run = RunMetrics(algorithm="x", jobs=[job, self.faulted_job()])
+        assert run.recovery_overhead() == 32.0
+        run.check_invariants()
+
+    def test_killed_attempt_in_task_list_rejected(self):
+        job = self.faulted_job()
+        job.map_tasks.append(TaskMetrics(machine=2, killed=True))
+        import pytest
+
+        from repro.mapreduce import MetricsInvariantError
+
+        with pytest.raises(MetricsInvariantError, match="leaked"):
+            job.check_invariants()
+
+    def test_killed_attempt_with_overhead_rejected(self):
+        import pytest
+
+        from repro.mapreduce import MetricsInvariantError
+
+        job = self.faulted_job()
+        job.killed_attempts[0].overhead_seconds = 1.0
+        with pytest.raises(MetricsInvariantError, match="chain winner"):
+            job.check_invariants()
+
+    def test_double_counted_bytes_rejected(self):
+        import pytest
+
+        from repro.mapreduce import MetricsInvariantError
+
+        job = self.faulted_job()
+        # The classic double-count: adding the killed attempt's bytes to
+        # the job total even though its output was discarded.
+        job.map_output_bytes += job.killed_attempts[0].bytes_out
+        with pytest.raises(MetricsInvariantError, match="killed attempts"):
+            job.check_invariants()
+
+    def test_attempt_ledger_mismatch_rejected(self):
+        import pytest
+
+        from repro.mapreduce import MetricsInvariantError
+
+        job = self.faulted_job()
+        job.attempts += 1
+        with pytest.raises(MetricsInvariantError, match="winners"):
+            job.check_invariants()
+
+    def test_engine_output_passes_invariants(self):
+        from repro.analysis import paper_cluster
+        from repro.core import SPCube
+        from repro.datagen import gen_zipf
+        from repro.mapreduce.faults import FaultPlan
+
+        plan = FaultPlan(seed=3, crash_prob=0.1, straggle_prob=0.1)
+        cluster = paper_cluster(1200, fault_plan=plan)
+        run = SPCube(cluster).compute(gen_zipf(1200, seed=1))
+        assert run.metrics.killed_tasks > 0  # the plan actually fired
+        run.metrics.check_invariants()
+        assert run.metrics.recovery_overhead() > 0.0
+
+
+class TestSerialization:
+    """Satellite of the observability PR: to_dict/from_dict round-trips."""
+
+    def test_task_round_trip(self):
+        task = TaskMetrics(
+            machine=3, records_in=10, records_out=4, bytes_in=100,
+            bytes_out=40, cpu_ops=50, spilled_records=2,
+            peak_group_records=6, seconds=1.5, attempt=1, killed=False,
+            speculative=True, overhead_seconds=0.5, counters={"hits": 2},
+        )
+        assert TaskMetrics.from_dict(task.to_dict()) == task
+
+    def test_job_round_trip_with_nested_tasks(self):
+        job = JobMetrics(name="round")
+        job.map_tasks.append(TaskMetrics(machine=0, seconds=2.0))
+        job.reduce_tasks.append(TaskMetrics(machine=1, records_in=7))
+        job.killed_attempts.append(TaskMetrics(machine=0, killed=True))
+        job.map_output_bytes = 123
+        job.attempts = 3
+        job.oom_reducers.append(1)
+        restored = JobMetrics.from_dict(job.to_dict())
+        assert restored == job
+        assert isinstance(restored.map_tasks[0], TaskMetrics)
+
+    def test_job_rejects_unknown_fields(self):
+        import pytest
+
+        data = JobMetrics(name="j").to_dict()
+        data["bogus_field"] = 1
+        with pytest.raises(ValueError, match="bogus_field"):
+            JobMetrics.from_dict(data)
+
+    def test_run_round_trip(self):
+        run = RunMetrics(algorithm="SP-Cube")
+        job = JobMetrics(name="j", total_seconds=5.0)
+        job.map_tasks.append(TaskMetrics(seconds=1.0))
+        run.jobs.append(job)
+        run.extras["sketch_bytes"] = 99
+        run.output_groups = 7
+        restored = RunMetrics.from_dict(run.to_dict())
+        assert restored == run
+        assert restored.total_seconds == 5.0
+
+    def test_run_round_trip_is_json_safe(self):
+        import json
+
+        run = RunMetrics(algorithm="x", fatal_error="boom")
+        run.jobs.append(JobMetrics(name="j"))
+        payload = json.dumps(run.to_dict())
+        assert RunMetrics.from_dict(json.loads(payload)) == run

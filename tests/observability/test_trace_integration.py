@@ -1,0 +1,156 @@
+"""End-to-end tracing: the acceptance criteria of the observability PR.
+
+A fault-injected gen-zipf run traced to a JSONL file must yield an
+analyzer whose attempt counts, speculative wins and per-reducer pair
+counts exactly match ``RunMetrics``; a traced run's metrics must be
+identical to an untraced run's; and trace files must be byte-identical
+between serial and parallel execution backends.
+"""
+
+import pytest
+
+from repro.analysis import paper_cluster
+from repro.core import SPCube
+from repro.datagen import gen_zipf
+from repro.mapreduce.faults import FaultPlan
+from repro.observability import (
+    JsonlSink,
+    MemorySink,
+    TraceAnalysis,
+    Tracer,
+    validate_records,
+)
+
+ROWS = 2000
+WALL_FIELDS = ("map_phase_wall_seconds", "reduce_phase_wall_seconds")
+
+
+def fault_plan():
+    return FaultPlan(seed=7, crash_prob=0.08, straggle_prob=0.1)
+
+
+def run_spcube(tracer=None, parallelism=None):
+    relation = gen_zipf(ROWS, seed=3)
+    cluster = paper_cluster(
+        ROWS, fault_plan=fault_plan(), parallelism=parallelism
+    )
+    cluster.tracer = tracer
+    return SPCube(cluster).compute(relation)
+
+
+def comparable(metrics):
+    """to_dict with the measured host-time diagnostics removed."""
+    data = metrics.to_dict()
+    for job in data["jobs"]:
+        for field in WALL_FIELDS:
+            job.pop(field)
+    return data
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    sink = MemorySink()
+    tracer = Tracer([sink], level="debug")
+    run = run_spcube(tracer)
+    return run, sink.records
+
+
+class TestTracedRunIsIdentical:
+    def test_metrics_bit_identical_to_untraced(self, traced_run):
+        run, _records = traced_run
+        untraced = run_spcube()
+        assert comparable(untraced.metrics) == comparable(run.metrics)
+
+    def test_cube_identical_to_untraced(self, traced_run):
+        run, _records = traced_run
+        assert run_spcube().cube == run.cube
+
+
+class TestAnalyzerMatchesMetrics:
+    def test_schema_valid(self, traced_run):
+        _run, records = traced_run
+        assert validate_records(records) == len(records)
+
+    def test_fault_plan_fired(self, traced_run):
+        run, _records = traced_run
+        assert run.metrics.killed_tasks > 0
+        assert run.metrics.speculative_wins > 0
+
+    def test_recovery_counters_match_exactly(self, traced_run):
+        run, records = traced_run
+        analysis = TraceAnalysis(records)
+        assert analysis.total_attempts() == run.metrics.attempts
+        assert analysis.killed_attempts() == run.metrics.killed_tasks
+        assert analysis.speculative_wins() == run.metrics.speculative_wins
+        assert analysis.recovered() == run.metrics.recovered
+
+    def test_per_job_counters_match(self, traced_run):
+        run, records = traced_run
+        analysis = TraceAnalysis(records)
+        for job in run.metrics.jobs:
+            assert analysis.total_attempts(job.name) == job.attempts
+            assert analysis.killed_attempts(job.name) == job.killed_tasks
+
+    def test_per_reducer_pair_counts_match(self, traced_run):
+        run, records = traced_run
+        analysis = TraceAnalysis(records)
+        for job in run.metrics.jobs:
+            expected = {t.machine: t.records_in for t in job.reduce_tasks}
+            assert analysis.reducer_records(job.name) == expected
+
+    def test_dominant_job_is_the_cube_round(self, traced_run):
+        run, records = traced_run
+        cube_round = max(
+            run.metrics.jobs, key=lambda job: job.map_output_records
+        )
+        assert TraceAnalysis(records).dominant_job() == cube_round.name
+
+    def test_run_span_carries_recovery_overhead(self, traced_run):
+        run, records = traced_run
+        (run_span,) = TraceAnalysis(records).runs
+        counters = run_span["counters"]
+        assert counters["attempts"] == run.metrics.attempts
+        assert counters["recovery_overhead_seconds"] == pytest.approx(
+            run.metrics.recovery_overhead()
+        )
+
+    def test_summary_formats(self, traced_run):
+        _run, records = traced_run
+        text = TraceAnalysis(records).format_summary()
+        assert "run SP-Cube" in text
+        assert "per-reducer records" in text
+
+
+class TestBackendIdentity:
+    def test_trace_files_byte_identical_serial_vs_parallel(self, tmp_path):
+        contents = []
+        for parallelism in (1, 3):
+            path = tmp_path / f"p{parallelism}.jsonl"
+            tracer = Tracer([JsonlSink(path)], level="debug")
+            run_spcube(tracer, parallelism=parallelism)
+            tracer.close()
+            contents.append(path.read_bytes())
+        assert contents[0] == contents[1]
+        assert len(contents[0]) > 0
+
+
+class TestLevelGating:
+    def test_job_level_omits_attempt_spans(self):
+        sink = MemorySink()
+        run_spcube(Tracer([sink], level="job"))
+        kinds = {r["kind"] for r in sink.records}
+        assert "attempt" not in kinds
+        assert {"job", "phase", "run"} <= kinds
+
+    def test_task_level_omits_debug_events(self):
+        sink = MemorySink()
+        run_spcube(Tracer([sink], level="task"))
+        kinds = {r["kind"] for r in sink.records}
+        assert "attempt" in kinds
+        assert "route" not in kinds and "spill" not in kinds
+
+    def test_debug_level_adds_route_events(self):
+        sink = MemorySink()
+        run_spcube(Tracer([sink], level="debug"))
+        kinds = {r["kind"] for r in sink.records}
+        assert "route" in kinds
