@@ -1,0 +1,270 @@
+"""Bench regression gate: diff fresh bench JSON against committed baselines.
+
+The perf bench (``test_perf_wallclock.py``) and the recovery bench
+(``test_recovery_cost.py``) each write a JSON artifact (``BENCH_perf.json``
+/ ``BENCH_recovery.json``).  CI runs the benches on every push; this gate
+compares the fresh artifacts against the committed baselines and fails the
+build when a change regresses past the tolerance bands.
+
+What is compared, and why the bands are where they are:
+
+* **Correctness flags — zero tolerance.**  ``cubes_identical`` must stay
+  true and a recovery point that completed at the baseline must not start
+  failing: these are bit-level invariants, not measurements, so any drift
+  is a bug.
+* **Ratio metrics — wide bands.**  Hot-path speedups (fast path vs legacy
+  within one process) and recovery slowdowns (faulted vs healthy run of
+  the same engine) are self-normalizing, so they transfer across machines
+  — but both numerators and denominators are wall-clock samples on shared
+  CI runners, so they still jitter.  Default bands: a hot-path speedup may
+  drop to 50% of the committed value before the gate trips
+  (``--hot-path-tolerance 0.5``), and a recovery slowdown may exceed the
+  committed one by 50% plus an absolute slack of 0.5
+  (``--slowdown-tolerance 0.5``).
+* **Absolute wall-clock — only on identical workloads.**  Seconds are
+  meaningless across different row counts, so serial wall time and output
+  group counts are checked only when the fresh artifact describes the
+  *same* workload (rows/dataset/skew/seed and parallelism for perf; rows
+  and base seed for recovery).  CI runs smaller workloads than the
+  committed baselines, so these checks are usually skipped there and bite
+  when someone regenerates a baseline locally.
+
+Usage (any pair may be omitted)::
+
+    python benchmarks/regression_gate.py \
+        --perf-baseline BENCH_perf.json --perf-fresh fresh/BENCH_perf.json \
+        --recovery-baseline BENCH_recovery.json \
+        --recovery-fresh fresh/BENCH_recovery.json
+
+Exit status 0 when every comparison is inside its band, 1 otherwise (the
+violations are listed on stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: See the module docstring for the reasoning behind each default band.
+DEFAULT_WALL_TOLERANCE = 0.35
+DEFAULT_HOT_PATH_TOLERANCE = 0.5
+DEFAULT_SLOWDOWN_TOLERANCE = 0.5
+DEFAULT_SLOWDOWN_SLACK = 0.5
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Tolerance bands for every gated comparison."""
+
+    #: Fresh serial wall seconds may exceed baseline by this fraction
+    #: (same-workload runs only).
+    wall: float = DEFAULT_WALL_TOLERANCE
+    #: Fresh hot-path speedup may drop to ``(1 - hot_path)`` of baseline.
+    hot_path: float = DEFAULT_HOT_PATH_TOLERANCE
+    #: Fresh recovery slowdown may exceed baseline by this fraction...
+    slowdown: float = DEFAULT_SLOWDOWN_TOLERANCE
+    #: ...plus this absolute slack (ratios near 1.0 jitter additively).
+    slowdown_slack: float = DEFAULT_SLOWDOWN_SLACK
+
+
+def _same_perf_workload(baseline: Dict, fresh: Dict) -> bool:
+    return (
+        baseline.get("workload") == fresh.get("workload")
+        and baseline.get("parallelism") == fresh.get("parallelism")
+    )
+
+
+def compare_perf(
+    baseline: Dict, fresh: Dict, tolerances: Tolerances = Tolerances()
+) -> List[str]:
+    """Violations of the perf bands (empty list = gate passes)."""
+    violations: List[str] = []
+
+    if baseline.get("cubes_identical") and not fresh.get("cubes_identical"):
+        violations.append(
+            "perf: serial and parallel cubes are no longer identical"
+        )
+
+    base_hot = baseline.get("hot_path", {})
+    fresh_hot = fresh.get("hot_path", {})
+    for metric in ("stable_hash_speedup", "routing_speedup"):
+        base_value = base_hot.get(metric)
+        fresh_value = fresh_hot.get(metric)
+        if base_value is None or fresh_value is None:
+            continue
+        floor = base_value * (1.0 - tolerances.hot_path)
+        if fresh_value < floor:
+            violations.append(
+                f"perf: hot-path {metric} fell to {fresh_value:.2f}x "
+                f"(baseline {base_value:.2f}x, floor {floor:.2f}x)"
+            )
+
+    if _same_perf_workload(baseline, fresh):
+        base_wall = baseline.get("serial_wall_seconds")
+        fresh_wall = fresh.get("serial_wall_seconds")
+        if base_wall and fresh_wall:
+            ceiling = base_wall * (1.0 + tolerances.wall)
+            if fresh_wall > ceiling:
+                violations.append(
+                    f"perf: serial wall clock {fresh_wall:.1f}s exceeds "
+                    f"{ceiling:.1f}s (baseline {base_wall:.1f}s "
+                    f"+{tolerances.wall:.0%})"
+                )
+        if (
+            baseline.get("output_groups") is not None
+            and fresh.get("output_groups") != baseline.get("output_groups")
+        ):
+            violations.append(
+                f"perf: output groups changed "
+                f"{baseline['output_groups']} -> {fresh.get('output_groups')} "
+                "on an identical workload"
+            )
+    return violations
+
+
+def _recovery_points(report: Dict) -> Dict[Tuple[str, float], Dict]:
+    return {
+        (point["engine"], point["pressure"]): point
+        for point in report.get("points", [])
+    }
+
+
+def compare_recovery(
+    baseline: Dict, fresh: Dict, tolerances: Tolerances = Tolerances()
+) -> List[str]:
+    """Violations of the recovery bands (empty list = gate passes)."""
+    violations: List[str] = []
+    base_points = _recovery_points(baseline)
+    fresh_points = _recovery_points(fresh)
+
+    missing = sorted(set(base_points) - set(fresh_points))
+    for engine, pressure in missing:
+        violations.append(
+            f"recovery: point ({engine}, pressure={pressure:g}) "
+            "disappeared from the fresh bench"
+        )
+
+    same_workload = (
+        baseline.get("rows") == fresh.get("rows")
+        and baseline.get("base_seed") == fresh.get("base_seed")
+    )
+    for key in sorted(set(base_points) & set(fresh_points)):
+        engine, pressure = key
+        base_point = base_points[key]
+        fresh_point = fresh_points[key]
+        if not base_point.get("failed") and fresh_point.get("failed"):
+            violations.append(
+                f"recovery: ({engine}, pressure={pressure:g}) completed "
+                "at the baseline but now fails"
+            )
+            continue
+        if not same_workload or base_point.get("failed"):
+            # Slowdown ratios replay a seeded fault schedule; a different
+            # row count or seed draws different faults, so only the
+            # structural checks above apply.
+            continue
+        base_slowdown = base_point.get("slowdown")
+        fresh_slowdown = fresh_point.get("slowdown")
+        if base_slowdown is None or fresh_slowdown is None:
+            continue
+        ceiling = (
+            base_slowdown * (1.0 + tolerances.slowdown)
+            + tolerances.slowdown_slack
+        )
+        if fresh_slowdown > ceiling:
+            violations.append(
+                f"recovery: ({engine}, pressure={pressure:g}) slowdown "
+                f"{fresh_slowdown:.2f}x exceeds {ceiling:.2f}x "
+                f"(baseline {base_slowdown:.2f}x)"
+            )
+    return violations
+
+
+def gate(
+    perf_baseline: Optional[Dict] = None,
+    perf_fresh: Optional[Dict] = None,
+    recovery_baseline: Optional[Dict] = None,
+    recovery_fresh: Optional[Dict] = None,
+    tolerances: Tolerances = Tolerances(),
+) -> List[str]:
+    """All violations across whichever artifact pairs were provided."""
+    violations: List[str] = []
+    if perf_baseline is not None and perf_fresh is not None:
+        violations.extend(compare_perf(perf_baseline, perf_fresh, tolerances))
+    if recovery_baseline is not None and recovery_fresh is not None:
+        violations.extend(
+            compare_recovery(recovery_baseline, recovery_fresh, tolerances)
+        )
+    return violations
+
+
+def _load(path: Optional[str]) -> Optional[Dict]:
+    if path is None:
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when fresh bench JSON regresses past the "
+        "committed baselines (see module docstring for the bands)"
+    )
+    parser.add_argument("--perf-baseline")
+    parser.add_argument("--perf-fresh")
+    parser.add_argument("--recovery-baseline")
+    parser.add_argument("--recovery-fresh")
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=DEFAULT_WALL_TOLERANCE
+    )
+    parser.add_argument(
+        "--hot-path-tolerance", type=float,
+        default=DEFAULT_HOT_PATH_TOLERANCE,
+    )
+    parser.add_argument(
+        "--slowdown-tolerance", type=float,
+        default=DEFAULT_SLOWDOWN_TOLERANCE,
+    )
+    parser.add_argument(
+        "--slowdown-slack", type=float, default=DEFAULT_SLOWDOWN_SLACK
+    )
+    args = parser.parse_args(argv)
+
+    pairs = [
+        ("perf", args.perf_baseline, args.perf_fresh),
+        ("recovery", args.recovery_baseline, args.recovery_fresh),
+    ]
+    for name, base_path, fresh_path in pairs:
+        if (base_path is None) != (fresh_path is None):
+            parser.error(
+                f"--{name}-baseline and --{name}-fresh must come together"
+            )
+    if all(base_path is None for _, base_path, _ in pairs):
+        parser.error("nothing to compare: pass at least one artifact pair")
+
+    violations = gate(
+        perf_baseline=_load(args.perf_baseline),
+        perf_fresh=_load(args.perf_fresh),
+        recovery_baseline=_load(args.recovery_baseline),
+        recovery_fresh=_load(args.recovery_fresh),
+        tolerances=Tolerances(
+            wall=args.wall_tolerance,
+            hot_path=args.hot_path_tolerance,
+            slowdown=args.slowdown_tolerance,
+            slowdown_slack=args.slowdown_slack,
+        ),
+    )
+    if violations:
+        print(f"regression gate: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("regression gate: all comparisons within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,8 +114,9 @@ def test_ablation_beta_threshold(benchmark, workload, cluster):
             if true_skews
             else 1.0
         )
+        summary = run.sketch.to_dict()
         results.append(
-            (scale, beta, recall, run.sketch.serialized_bytes())
+            (scale, beta, recall, summary["serialized_bytes"])
         )
     benchmark.pedantic(
         lambda: SPCube(cluster).compute(workload), rounds=1, iterations=1

@@ -4,6 +4,7 @@ from .charts import ascii_chart, chart_figure
 from .report import (
     available_metrics,
     format_figure,
+    format_markdown_table,
     format_panel,
     speedup_summary,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "chart_figure",
     "available_metrics",
     "format_figure",
+    "format_markdown_table",
     "format_panel",
     "speedup_summary",
     "METRICS",

@@ -93,6 +93,31 @@ def speedup_summary(
     return summary
 
 
+def format_markdown_table(
+    header: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """A GitHub-flavoured markdown table with aligned columns.
+
+    Used by the ``doctor`` report (and anything else emitting markdown):
+    cells are stringified and padded so the raw text is readable too.
+    """
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header[i])), *(len(row[i]) for row in cells))
+        if cells
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+
+    def line(row: Sequence[str]) -> str:
+        padded = [str(cell).ljust(width) for cell, width in zip(row, widths)]
+        return "| " + " | ".join(padded) + " |"
+
+    out = [line(list(header)), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
 def available_metrics() -> List[str]:
     """Names accepted by :func:`format_panel` / ``SweepResult.series``."""
     return sorted(METRICS)

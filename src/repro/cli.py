@@ -7,6 +7,7 @@ Commands
 ``compare``        run several engines on a workload, print the comparison
 ``sketch``         build and describe the SP-Sketch of a text relation
 ``analyze-trace``  summarize a trace file written with ``--trace``
+``doctor``         audit sketch accuracy & load balance vs ground truth
 
 Examples::
 
@@ -17,6 +18,7 @@ Examples::
     python -m repro sketch data.tsv
     python -m repro cube data.tsv --fault-seed 7 --trace run.trace.jsonl
     python -m repro analyze-trace run.trace.jsonl
+    python -m repro doctor --rows 4000 --machines 8 --json report.json
 
 The ``cube`` and ``compare`` commands take fault-injection knobs
 (``--fault-seed``, ``--crash-prob``, ``--straggle-prob``,
@@ -226,10 +228,13 @@ def cmd_sketch(args) -> int:
         sketch = run.sketch
 
     schema = relation.schema
+    summary = sketch.to_dict()
     print(f"SP-Sketch of {relation.name} "
           f"({'exact' if args.exact else 'sampled'}):")
-    print(f"  serialized size: {sketch.serialized_bytes()} bytes")
-    print(f"  skewed c-groups: {sketch.num_skewed}")
+    print(f"  serialized size: {summary['serialized_bytes']} bytes")
+    print(f"  skewed c-groups: {summary['num_skewed']}")
+    print(f"  partition elements: {summary['num_partition_elements']} "
+          f"across {summary['num_cuboids']} cuboids")
     shown = 0
     for mask, values, count in sketch.skewed_groups():
         if shown >= args.limit:
@@ -249,14 +254,49 @@ def cmd_analyze_trace(args) -> int:
         analysis = TraceAnalysis.from_file(args.trace_file)
     except (OSError, ValueError) as error:
         raise SystemExit(f"repro: error: {error}") from None
+    # A malformed trace means every downstream number is suspect, so the
+    # schema check always runs: one line to stderr, nonzero exit, no
+    # summary built from records that lie.
+    try:
+        analysis.validate()
+    except TraceSchemaError as error:
+        print(f"trace schema violation: {error}", file=sys.stderr)
+        return 1
     if args.validate:
-        try:
-            analysis.validate()
-        except TraceSchemaError as error:
-            print(f"trace schema violation: {error}", file=sys.stderr)
-            return 1
         print(f"{len(analysis.records)} records, schema ok")
     print(analysis.format_summary())
+    return 0
+
+
+def cmd_doctor(args) -> int:
+    from .observability import format_doctor_markdown, run_doctor
+
+    try:
+        report = run_doctor(
+            rows=args.rows,
+            machines=args.machines,
+            engines=args.engines,
+            binomial_skews=args.binomial_skews,
+            zipf_exponents=args.zipf_exponents,
+            seed=args.seed,
+            balance_tolerance=args.balance_tolerance,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    markdown = format_doctor_markdown(report)
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json_out}", file=sys.stderr)
+    if args.markdown_out:
+        with open(args.markdown_out, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"markdown written to {args.markdown_out}", file=sys.stderr)
+    print(markdown, end="")
+    if args.strict and not report["healthy"]:
+        return 1
     return 0
 
 
@@ -380,10 +420,46 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("trace_file")
     analyze.add_argument(
         "--validate", action="store_true",
-        help="check every record against the trace schema first "
-             "(exit 1 on violation)",
+        help="print the record count after the schema check (the check "
+             "itself always runs; violations exit 1)",
     )
     analyze.set_defaults(fn=cmd_analyze_trace)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="audit sketch quality and load balance against exact ground "
+             "truth on synthetic skew sweeps, with per-reducer load "
+             "attribution and engine side-by-sides",
+    )
+    doctor.add_argument("--rows", type=int, default=4_000)
+    doctor.add_argument("--machines", type=int, default=8)
+    doctor.add_argument(
+        "--engines", nargs="+", choices=sorted(ENGINES),
+        default=sorted(ENGINES),
+        help="engines for the side-by-side table (spcube always runs)",
+    )
+    doctor.add_argument(
+        "--binomial-skews", nargs="*", type=float, default=[0.1, 0.4],
+        metavar="P", help="gen-binomial skew probabilities to audit",
+    )
+    doctor.add_argument(
+        "--zipf-exponents", nargs="*", type=float, default=[1.1, 1.6],
+        metavar="S", help="gen-zipf exponents to audit",
+    )
+    doctor.add_argument("--seed", type=int, default=0)
+    doctor.add_argument(
+        "--balance-tolerance", type=float, default=2.0, metavar="X",
+        help="flag a cuboid when its heaviest partition (skewed groups "
+             "excluded) exceeds X times the n/k + m per-partition load "
+             "that Prop 4.2(2) promises for exact elements",
+    )
+    doctor.add_argument("--json", dest="json_out", metavar="PATH",
+                        help="write the full report as JSON")
+    doctor.add_argument("--markdown", dest="markdown_out", metavar="PATH",
+                        help="write the markdown report to a file")
+    doctor.add_argument("--strict", action="store_true",
+                        help="exit 1 when the audit finds problems")
+    doctor.set_defaults(fn=cmd_doctor)
 
     return parser
 

@@ -4,6 +4,7 @@ from .partition import (
     find_partition,
     partition_elements_for_cuboid,
     partition_elements_from_sorted,
+    partition_loads,
     partition_sizes,
 )
 from .planner import (
@@ -31,6 +32,7 @@ __all__ = [
     "find_partition",
     "partition_elements_for_cuboid",
     "partition_elements_from_sorted",
+    "partition_loads",
     "partition_sizes",
     "PlannerError",
     "TuplePlan",

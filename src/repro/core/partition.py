@@ -18,7 +18,7 @@ rest — exactly the paper's bucket definition.
 from __future__ import annotations
 
 import bisect
-from typing import List, Sequence, Tuple
+from typing import AbstractSet, List, Sequence, Tuple
 
 from ..relation.lattice import GroupValues, project
 
@@ -86,8 +86,29 @@ def partition_sizes(
     num_partitions: int,
 ) -> List[int]:
     """Tuples per partition for cuboid ``mask`` — used to verify Prop 4.2."""
+    return partition_loads(rows, mask, num_dimensions, elements, num_partitions)
+
+
+def partition_loads(
+    rows: Sequence[Tuple],
+    mask: int,
+    num_dimensions: int,
+    elements: Sequence[GroupValues],
+    num_partitions: int,
+    exclude_groups: AbstractSet[GroupValues] = frozenset(),
+) -> List[int]:
+    """Tuples per partition, optionally excluding some c-groups.
+
+    Proposition 4.2(2) bounds every partition's load *excluding skewed
+    groups* — those route through the map-side partial-aggregation path,
+    not the range partition.  The sketch audit passes the skewed group
+    set here to measure the balance the proposition actually promises.
+    """
     sizes = [0] * num_partitions
+    element_list = list(elements)
     for row in rows:
         group = project(row, mask, num_dimensions)
-        sizes[find_partition(elements, group)] += 1
+        if group in exclude_groups:
+            continue
+        sizes[bisect.bisect_left(element_list, group)] += 1
     return sizes

@@ -66,6 +66,7 @@ class SPSketch:
         for mask in all_cuboids(num_dimensions):
             self.cuboids.setdefault(mask, CuboidSketch())
         self._probes = None  # lazily-built skew_bits probe list
+        self._size_bytes = None  # lazily-computed serialized size
 
     # -- queries used by Algorithm 3 -----------------------------------------
 
@@ -135,8 +136,46 @@ class SPSketch:
         )
 
     def serialized_bytes(self) -> int:
-        """Estimated serialized size (Figures 5c / 6c measure this)."""
-        return estimate_bytes(self.to_payload())
+        """Estimated serialized size (Figures 5c / 6c measure this).
+
+        Cached on first use — the sketch is immutable once built, and the
+        size is consulted repeatedly (metrics extras, trace events, the
+        sketch-size bench).
+        """
+        size = self._size_bytes
+        if size is None:
+            size = self._size_bytes = estimate_bytes(self.to_payload())
+        return size
+
+    def to_dict(self) -> Dict:
+        """Summary statistics as plain JSON — the sketch's self-report.
+
+        One shared accessor for everything that describes a sketch: the
+        ``doctor`` diagnostics, the ``sketch`` CLI command, SP-Cube's
+        metrics extras, and the sketch-size bench all read these numbers
+        from here instead of recomputing them ad hoc.  Cuboid keys are
+        masks (ints); callers serializing to JSON get string keys for
+        free via ``json.dumps``.
+        """
+        skewed_per_cuboid = {
+            mask: len(cuboid.skewed)
+            for mask, cuboid in sorted(self.cuboids.items())
+            if cuboid.skewed
+        }
+        elements_per_cuboid = {
+            mask: len(cuboid.partition_elements)
+            for mask, cuboid in sorted(self.cuboids.items())
+        }
+        return {
+            "num_dimensions": self.num_dimensions,
+            "num_partitions": self.num_partitions,
+            "num_cuboids": len(self.cuboids),
+            "num_skewed": self.num_skewed,
+            "skewed_per_cuboid": skewed_per_cuboid,
+            "num_partition_elements": sum(elements_per_cuboid.values()),
+            "partition_elements_per_cuboid": elements_per_cuboid,
+            "serialized_bytes": self.serialized_bytes(),
+        }
 
     def validate_monotonic(self) -> None:
         """Check downward monotonicity of recorded skews.

@@ -134,14 +134,16 @@ class SPCube:
                 sketch=sketch,
             )
         self.dfs.write(SKETCH_PATH, [sketch.to_payload()])
-        metrics.extras["sketch_bytes"] = sketch.serialized_bytes()
-        metrics.extras["num_skewed_groups"] = sketch.num_skewed
+        summary = sketch.to_dict()
+        metrics.extras["sketch_bytes"] = summary["serialized_bytes"]
+        metrics.extras["num_skewed_groups"] = summary["num_skewed"]
         if tracer.enabled:
             tracer.event(
                 "sketch", at=tracer.clock, job="sp-sketch",
                 fields={
-                    "bytes": sketch.serialized_bytes(),
-                    "skewed_groups": sketch.num_skewed,
+                    "bytes": summary["serialized_bytes"],
+                    "skewed_groups": summary["num_skewed"],
+                    "partition_elements": summary["num_partition_elements"],
                     "sample_size": metrics.extras.get("sample_size", 0),
                 },
             )

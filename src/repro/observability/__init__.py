@@ -28,6 +28,19 @@ then ``python -m repro analyze-trace run.trace.jsonl``.
 """
 
 from .analyze import TraceAnalysis, load_trace
+from .diagnostics import (
+    BalanceStats,
+    CuboidAudit,
+    LoadAttribution,
+    SketchAudit,
+    SkewConfusion,
+    TheoryChecks,
+    attribute_load,
+    audit_sketch,
+    format_doctor_markdown,
+    predicted_reducer_loads,
+    run_doctor,
+)
 from .schema import (
     EVENT_KINDS,
     SPAN_KINDS,
@@ -56,6 +69,17 @@ from .tracer import (
 __all__ = [
     "TraceAnalysis",
     "load_trace",
+    "BalanceStats",
+    "CuboidAudit",
+    "LoadAttribution",
+    "SketchAudit",
+    "SkewConfusion",
+    "TheoryChecks",
+    "attribute_load",
+    "audit_sketch",
+    "format_doctor_markdown",
+    "predicted_reducer_loads",
+    "run_doctor",
     "EVENT_KINDS",
     "SPAN_KINDS",
     "SPAN_STATUSES",

@@ -2,6 +2,10 @@
 
 from .bounds import (
     TrafficPlan,
+    expected_false_negatives,
+    expected_false_positives,
+    false_negative_probability,
+    false_positive_probability,
     independent_traffic_bound,
     monotonic_traffic_bound,
     planned_traffic,
@@ -17,6 +21,10 @@ from .skewness import (
 
 __all__ = [
     "TrafficPlan",
+    "expected_false_negatives",
+    "expected_false_positives",
+    "false_negative_probability",
+    "false_positive_probability",
     "independent_traffic_bound",
     "monotonic_traffic_bound",
     "planned_traffic",

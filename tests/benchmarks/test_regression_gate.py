@@ -1,0 +1,197 @@
+"""The bench regression gate: tolerance bands, pass/fail wiring, CLI."""
+
+import copy
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_GATE_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "regression_gate.py"
+)
+# benchmarks/ is not a package (pytest collects it separately with its own
+# deps); load the gate straight from its file so the tier-1 suite covers it.
+# The module must be in sys.modules before exec: dataclass field resolution
+# looks its defining module up there.
+_spec = importlib.util.spec_from_file_location("regression_gate", _GATE_PATH)
+gate_mod = importlib.util.module_from_spec(_spec)
+sys.modules["regression_gate"] = gate_mod
+_spec.loader.exec_module(gate_mod)
+
+
+def perf_report(**overrides):
+    report = {
+        "workload": {"dataset": "gen_binomial", "rows": 1000, "skew": 0.4,
+                     "seed": 1},
+        "parallelism": 4,
+        "serial_wall_seconds": 10.0,
+        "cubes_identical": True,
+        "output_groups": 5000,
+        "hot_path": {"stable_hash_speedup": 2.0, "routing_speedup": 1.8},
+    }
+    report.update(overrides)
+    return report
+
+
+def recovery_report(points=None, rows=1000, base_seed=7):
+    if points is None:
+        points = [
+            {"engine": "SP-Cube", "pressure": 0.0, "slowdown": 1.0,
+             "failed": False},
+            {"engine": "SP-Cube", "pressure": 0.1, "slowdown": 1.5,
+             "failed": False},
+        ]
+    return {"rows": rows, "base_seed": base_seed, "points": points}
+
+
+def with_slowdown(report, pressure, slowdown, failed=False):
+    fresh = copy.deepcopy(report)
+    for point in fresh["points"]:
+        if point["pressure"] == pressure:
+            point["slowdown"] = slowdown
+            point["failed"] = failed
+    return fresh
+
+
+class TestPerfGate:
+    def test_identical_artifacts_pass(self):
+        assert gate_mod.compare_perf(perf_report(), perf_report()) == []
+
+    def test_cube_divergence_fails(self):
+        fresh = perf_report(cubes_identical=False)
+        violations = gate_mod.compare_perf(perf_report(), fresh)
+        assert any("no longer identical" in v for v in violations)
+
+    def test_hot_path_collapse_fails(self):
+        fresh = perf_report(
+            hot_path={"stable_hash_speedup": 0.5, "routing_speedup": 1.8}
+        )
+        violations = gate_mod.compare_perf(perf_report(), fresh)
+        assert any("stable_hash_speedup" in v for v in violations)
+
+    def test_hot_path_within_band_passes(self):
+        # 2.0 -> 1.2 is a 40% drop, inside the default 50% band.
+        fresh = perf_report(
+            hot_path={"stable_hash_speedup": 1.2, "routing_speedup": 1.8}
+        )
+        assert gate_mod.compare_perf(perf_report(), fresh) == []
+
+    def test_wall_clock_checked_only_on_same_workload(self):
+        slow = perf_report(serial_wall_seconds=100.0)
+        violations = gate_mod.compare_perf(perf_report(), slow)
+        assert any("wall clock" in v for v in violations)
+        # Different row count: seconds are not comparable, no violation.
+        different = perf_report(
+            serial_wall_seconds=100.0,
+            workload={"dataset": "gen_binomial", "rows": 60_000,
+                      "skew": 0.4, "seed": 1},
+        )
+        assert gate_mod.compare_perf(perf_report(), different) == []
+
+    def test_output_groups_drift_fails(self):
+        fresh = perf_report(output_groups=4999)
+        violations = gate_mod.compare_perf(perf_report(), fresh)
+        assert any("output groups" in v for v in violations)
+
+
+class TestRecoveryGate:
+    def test_identical_artifacts_pass(self):
+        assert (
+            gate_mod.compare_recovery(recovery_report(), recovery_report())
+            == []
+        )
+
+    def test_synthetic_slowdown_beyond_tolerance_fails(self):
+        """The acceptance case: a planted >tolerance slowdown trips it."""
+        baseline = recovery_report()
+        # Ceiling for 1.5x baseline: 1.5 * 1.5 + 0.5 = 2.75x.
+        fresh = with_slowdown(baseline, pressure=0.1, slowdown=3.5)
+        violations = gate_mod.compare_recovery(baseline, fresh)
+        assert len(violations) == 1
+        assert "slowdown" in violations[0]
+        assert "3.50x" in violations[0]
+
+    def test_slowdown_within_tolerance_passes(self):
+        baseline = recovery_report()
+        fresh = with_slowdown(baseline, pressure=0.1, slowdown=2.5)
+        assert gate_mod.compare_recovery(baseline, fresh) == []
+
+    def test_new_failure_fails(self):
+        baseline = recovery_report()
+        fresh = with_slowdown(
+            baseline, pressure=0.1, slowdown=1.0, failed=True
+        )
+        violations = gate_mod.compare_recovery(baseline, fresh)
+        assert any("now fails" in v for v in violations)
+
+    def test_missing_point_fails(self):
+        baseline = recovery_report()
+        fresh = recovery_report(points=baseline["points"][:1])
+        violations = gate_mod.compare_recovery(baseline, fresh)
+        assert any("disappeared" in v for v in violations)
+
+    def test_different_workload_skips_slowdown_bands(self):
+        baseline = recovery_report()
+        fresh = with_slowdown(
+            recovery_report(rows=4000), pressure=0.1, slowdown=9.0
+        )
+        assert gate_mod.compare_recovery(baseline, fresh) == []
+
+    def test_custom_tolerances(self):
+        baseline = recovery_report()
+        fresh = with_slowdown(baseline, pressure=0.1, slowdown=2.5)
+        tight = gate_mod.Tolerances(slowdown=0.1, slowdown_slack=0.0)
+        assert gate_mod.compare_recovery(baseline, fresh, tight) != []
+
+
+class TestGateCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_passing_run_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", recovery_report())
+        fresh = self._write(tmp_path, "fresh.json", recovery_report())
+        code = gate_mod.main(
+            ["--recovery-baseline", base, "--recovery-fresh", fresh]
+        )
+        assert code == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", recovery_report())
+        fresh = self._write(
+            tmp_path,
+            "fresh.json",
+            with_slowdown(recovery_report(), pressure=0.1, slowdown=4.0),
+        )
+        code = gate_mod.main(
+            ["--recovery-baseline", base, "--recovery-fresh", fresh]
+        )
+        assert code == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_unpaired_artifacts_rejected(self, tmp_path):
+        base = self._write(tmp_path, "base.json", recovery_report())
+        with pytest.raises(SystemExit):
+            gate_mod.main(["--recovery-baseline", base])
+
+    def test_nothing_to_compare_rejected(self):
+        with pytest.raises(SystemExit):
+            gate_mod.main([])
+
+    def test_committed_baselines_self_compare(self, capsys):
+        """The repo's own artifacts must pass against themselves."""
+        root = _GATE_PATH.parents[1]
+        perf = str(root / "BENCH_perf.json")
+        recovery = str(root / "BENCH_recovery.json")
+        code = gate_mod.main(
+            ["--perf-baseline", perf, "--perf-fresh", perf,
+             "--recovery-baseline", recovery, "--recovery-fresh", recovery]
+        )
+        assert code == 0

@@ -152,3 +152,45 @@ class TestMonotonicityValidation:
         sketch = SPSketch(2, 2, {})
         assert len(sketch.cuboids) == 4
         assert sketch.num_skewed == 0
+
+
+class TestToDict:
+    def test_summary_fields(self):
+        rel = skewed_relation()
+        sketch = build_exact_sketch(rel, num_partitions=4, memory_records=40)
+        summary = sketch.to_dict()
+        assert summary["num_dimensions"] == 3
+        assert summary["num_partitions"] == 4
+        assert summary["num_cuboids"] == 8
+        assert summary["num_skewed"] == sketch.num_skewed
+        assert summary["serialized_bytes"] == sketch.serialized_bytes()
+        # Per-cuboid skew counts cover exactly the non-empty cuboids.
+        for mask, count in summary["skewed_per_cuboid"].items():
+            assert count == len(sketch.cuboids[mask].skewed) > 0
+        assert summary["num_partition_elements"] == sum(
+            summary["partition_elements_per_cuboid"].values()
+        )
+
+    def test_json_serializable(self):
+        import json
+
+        rel = skewed_relation(n=100)
+        sketch = build_exact_sketch(rel, 3, 30)
+        json.dumps(sketch.to_dict())
+
+    def test_serialized_bytes_cached(self):
+        rel = skewed_relation(n=100)
+        sketch = build_exact_sketch(rel, 3, 30)
+        assert sketch._size_bytes is None
+        first = sketch.serialized_bytes()
+        assert sketch._size_bytes == first
+        assert sketch.serialized_bytes() == first
+
+    def test_cache_survives_pickling(self):
+        import pickle
+
+        rel = skewed_relation(n=100)
+        sketch = build_exact_sketch(rel, 3, 30)
+        size = sketch.serialized_bytes()
+        clone = pickle.loads(pickle.dumps(sketch))
+        assert clone.serialized_bytes() == size

@@ -218,3 +218,60 @@ class TestTraceCommands:
         code = main(["analyze-trace", str(bad), "--validate"])
         assert code == 1
         assert "schema violation" in capsys.readouterr().err
+
+
+class TestAnalyzeTraceExitCodes:
+    """The schema check always runs: clean traces pass, broken ones don't."""
+
+    def test_valid_trace_without_flag_exits_zero(self, tmp_path, capsys):
+        data = str(tmp_path / "data.tsv")
+        trace = str(tmp_path / "ok.trace.jsonl")
+        main(["generate", "zipf", "--rows", "300", "-o", data])
+        main(["cube", data, "--machines", "4", "--trace", trace])
+        capsys.readouterr()
+        assert main(["analyze-trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "run SP-Cube" in out
+        assert "schema ok" not in out  # the count line needs --validate
+
+    def test_invalid_trace_without_flag_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "kind": "mystery"}\n')
+        code = main(["analyze-trace", str(bad)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "trace schema violation" in captured.err
+        assert captured.err.count("\n") == 1  # one-line reason
+        assert "run " not in captured.out  # no summary from a broken trace
+
+
+class TestDoctor:
+    def test_doctor_writes_reports_and_passes_strict(self, tmp_path, capsys):
+        import json
+
+        json_out = str(tmp_path / "doctor.json")
+        md_out = str(tmp_path / "doctor.md")
+        code = main(
+            ["doctor", "--rows", "600", "--machines", "4",
+             "--engines", "spcube",
+             "--binomial-skews", "0.4", "--zipf-exponents", "1.3",
+             "--json", json_out, "--markdown", md_out, "--strict"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cube doctor report" in out
+        assert "Sketch accuracy" in out
+        assert "Reducer load attribution" in out
+        with open(json_out) as handle:
+            report = json.load(handle)
+        assert report["healthy"] is True
+        assert report["problems"] == []
+        assert [d["name"] for d in report["datasets"]] == [
+            "binomial(p=0.4)", "zipf(s=1.3)"
+        ]
+        with open(md_out) as handle:
+            assert "Cube doctor report" in handle.read()
+
+    def test_doctor_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["doctor", "--rows", "100", "--engines", "spark"])

@@ -1,0 +1,104 @@
+"""Chernoff sketch-accuracy bounds: monotonicity, ranges, edge cases."""
+
+import pytest
+
+from repro.core import sampling_probability, skew_sample_threshold
+from repro.theory import (
+    expected_false_negatives,
+    expected_false_positives,
+    false_negative_probability,
+    false_positive_probability,
+)
+
+N, K, M = 4000, 8, 125  # the doctor's default paper_cluster shape
+
+
+class TestFalseNegativeProbability:
+    def test_trivial_at_or_below_threshold(self):
+        """Groups the sketch is allowed to miss get the trivial bound."""
+        assert false_negative_probability(M, N, K, M) == 1.0
+        assert false_negative_probability(1, N, K, M) == 1.0
+        assert false_negative_probability(0, N, K, M) == 1.0
+
+    def test_decreasing_in_group_size(self):
+        """The further above ``m`` a group is, the harder it is to miss."""
+        sizes = [2 * M, 4 * M, 8 * M, 16 * M]
+        bounds = [false_negative_probability(s, N, K, M) for s in sizes]
+        assert all(b1 > b2 for b1, b2 in zip(bounds, bounds[1:]))
+        assert all(0.0 < b < 1.0 for b in bounds)
+
+    def test_huge_groups_essentially_never_missed(self):
+        assert false_negative_probability(N, N, K, M) < 1e-6
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            false_negative_probability(-1, N, K, M)
+
+
+class TestFalsePositiveProbability:
+    def test_empty_group_never_flagged(self):
+        assert false_positive_probability(0, N, K, M) == 0.0
+
+    def test_trivial_at_threshold(self):
+        """At ``s = m`` the mean hits ``beta`` — no non-trivial bound."""
+        assert false_positive_probability(M, N, K, M) == 1.0
+
+    def test_increasing_in_group_size(self):
+        """Bigger (but still non-skewed) groups are easier to over-count."""
+        sizes = [M // 16, M // 8, M // 4, M // 2]
+        bounds = [false_positive_probability(s, N, K, M) for s in sizes]
+        assert all(b1 < b2 for b1, b2 in zip(bounds, bounds[1:]))
+        assert all(0.0 < b <= 1.0 for b in bounds)
+
+    def test_tiny_groups_essentially_never_flagged(self):
+        assert false_positive_probability(1, N, K, M) < 1e-3
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            false_positive_probability(-1, N, K, M)
+
+
+class TestEdgeCases:
+    def test_single_machine_cluster(self):
+        """k = 1: alpha/beta still well-defined, bounds stay in [0, 1]."""
+        n, m = 1000, 100
+        assert 0.0 < sampling_probability(n, 1, m) <= 1.0
+        assert skew_sample_threshold(n, 1) > 0.0
+        assert 0.0 <= false_negative_probability(n, n, 1, m) <= 1.0
+        assert 0.0 <= false_positive_probability(m // 2, n, 1, m) <= 1.0
+
+    def test_memory_exceeds_input(self):
+        """n < m: no group can be truly skewed; the FP bound still holds
+        for every feasible size and the FN bound is trivially 1."""
+        n, k, m = 50, 4, 200
+        for size in (1, n // 2, n):
+            assert false_negative_probability(size, n, k, m) == 1.0
+            assert 0.0 <= false_positive_probability(size, n, k, m) <= 1.0
+
+
+class TestExpectedCounts:
+    def test_empty_inputs(self):
+        assert expected_false_negatives([], N, K, M) == 0.0
+        assert expected_false_positives([], N, K, M) == 0.0
+
+    def test_terms_capped_at_one(self):
+        """Each summand is a probability, so the total is at most the
+        group count even when individual bounds are trivial."""
+        sizes = [M] * 5  # trivial per-group FN bound of 1.0
+        assert expected_false_negatives(sizes, N, K, M) == pytest.approx(5.0)
+        assert expected_false_positives([M] * 3, N, K, M) == pytest.approx(3.0)
+
+    def test_matches_sum_of_tails(self):
+        sizes = [2 * M, 16 * M]
+        expected = sum(
+            false_negative_probability(s, N, K, M) for s in sizes
+        )
+        assert expected_false_negatives(sizes, N, K, M) == pytest.approx(
+            expected
+        )
+
+    def test_confident_regime_sums_near_zero(self):
+        """Groups far from the threshold contribute essentially nothing —
+        the regime the doctor's corruption detection relies on."""
+        assert expected_false_negatives([N], N, K, M) < 1e-6
+        assert expected_false_positives([1, 2, 3], N, K, M) < 1e-2

@@ -1,0 +1,64 @@
+"""Skewness census edge cases: tiny clusters, oversized memory, exactness."""
+
+from repro.relation import Relation, Schema, all_cuboids
+from repro.theory import (
+    is_skewness_monotonic,
+    monotonicity_violations,
+    skewed_groups_by_cuboid,
+)
+
+from ..conftest import make_random_relation
+
+
+def _tiny(rows):
+    return Relation(Schema(["a", "b"], "m"), rows, validate=False)
+
+
+class TestSkewedGroupsCensus:
+    def test_census_covers_every_cuboid(self):
+        rel = make_random_relation(100, num_dimensions=3, seed=11)
+        skewed = skewed_groups_by_cuboid(rel, memory_records=10)
+        assert set(skewed) == set(all_cuboids(3))
+
+    def test_memory_exceeds_input_means_no_skew(self):
+        """n < m: not even the apex is skewed — the census is empty."""
+        rel = make_random_relation(30, seed=12)
+        skewed = skewed_groups_by_cuboid(rel, memory_records=30)
+        assert all(not groups for groups in skewed.values())
+
+    def test_agrees_with_exact_group_sizes(self):
+        rel = make_random_relation(200, seed=13, skew_fraction=0.4)
+        m = 25
+        skewed = skewed_groups_by_cuboid(rel, m)
+        for mask in all_cuboids(rel.schema.num_dimensions):
+            truth = {
+                values
+                for values, count in rel.group_sizes(mask).items()
+                if count > m
+            }
+            assert skewed[mask] == truth
+
+
+class TestMonotonicityEdgeCases:
+    def test_empty_memory_only_apex_exempt(self):
+        """m = 0 makes every group skewed — vacuously monotonic."""
+        rel = _tiny([(1, 1, 0), (1, 2, 0), (2, 1, 0)])
+        assert is_skewness_monotonic(rel, memory_records=0)
+
+    def test_no_skew_at_all_is_monotonic(self):
+        rel = _tiny([(1, 1, 0), (1, 2, 0), (2, 1, 0)])
+        assert is_skewness_monotonic(rel, memory_records=5)
+
+    def test_single_dimension_always_monotonic(self):
+        """d = 1 cuboids have only the exempt apex below them."""
+        rows = [(1, 0)] * 20 + [(2, 0)] * 3
+        rel = Relation(Schema(["a"], "m"), rows, validate=False)
+        assert is_skewness_monotonic(rel, memory_records=10)
+
+    def test_violation_lists_are_exact(self):
+        """Only the constructed violator is reported, nothing else."""
+        rows = [(1, 1, 0)] * 30 + [(1, 2, 0)] * 30 + [(2, 1, 0)] * 30
+        rel = _tiny(rows)
+        assert monotonicity_violations(rel, memory_records=35) == [
+            (0b11, (1, 1))
+        ]
