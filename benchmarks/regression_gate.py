@@ -11,7 +11,12 @@ What is compared, and why the bands are where they are:
 * **Correctness flags — zero tolerance.**  ``cubes_identical`` must stay
   true and a recovery point that completed at the baseline must not start
   failing: these are bit-level invariants, not measurements, so any drift
-  is a bug.
+  is a bug.  The node sweep (``node_points``) gets the same treatment —
+  a checkpointed run that survived a node loss must keep surviving, and
+  on an identical workload the seeded loss/resume counts must not move.
+  Artifacts written before the node sweep existed simply lack the key;
+  the gate compares node points only when *both* artifacts carry them,
+  so old baselines never trip on new fields.
 * **Ratio metrics — wide bands.**  Hot-path speedups (fast path vs legacy
   within one process) and recovery slowdowns (faulted vs healthy run of
   the same engine) are self-normalizing, so they transfer across machines
@@ -132,6 +137,65 @@ def _recovery_points(report: Dict) -> Dict[Tuple[str, float], Dict]:
     }
 
 
+def _node_points(report: Dict) -> Dict[Tuple[str, float, bool], Dict]:
+    return {
+        (
+            point["engine"],
+            point["node_pressure"],
+            bool(point["checkpointed"]),
+        ): point
+        for point in report.get("node_points", [])
+    }
+
+
+def _compare_node_points(
+    baseline: Dict, fresh: Dict, same_workload: bool
+) -> List[str]:
+    """Node-pressure checks — skipped entirely when either artifact
+    predates the node sweep, so old baselines stay comparable."""
+    violations: List[str] = []
+    base_points = _node_points(baseline)
+    fresh_points = _node_points(fresh)
+    if not base_points or not fresh_points:
+        return violations
+
+    for engine, pressure, checkpointed in sorted(
+        set(base_points) - set(fresh_points)
+    ):
+        mode = "checkpoint" if checkpointed else "abort"
+        violations.append(
+            f"recovery: node point ({engine}, node_pressure={pressure:g}, "
+            f"{mode}) disappeared from the fresh bench"
+        )
+    for key in sorted(set(base_points) & set(fresh_points)):
+        engine, pressure, checkpointed = key
+        base_point = base_points[key]
+        fresh_point = fresh_points[key]
+        mode = "checkpoint" if checkpointed else "abort"
+        if base_point.get("completed") and not fresh_point.get("completed"):
+            violations.append(
+                f"recovery: ({engine}, node_pressure={pressure:g}, {mode}) "
+                "completed at the baseline but now aborts"
+            )
+            continue
+        if not same_workload:
+            # Kill schedules are seeded per workload; loss/resume counts
+            # only transfer when rows and base seed match.
+            continue
+        for counter in ("nodes_lost", "resumed_rounds"):
+            base_value = base_point.get(counter)
+            fresh_value = fresh_point.get(counter)
+            if base_value is None or fresh_value is None:
+                continue
+            if base_value != fresh_value:
+                violations.append(
+                    f"recovery: ({engine}, node_pressure={pressure:g}, "
+                    f"{mode}) {counter} changed {base_value} -> "
+                    f"{fresh_value} on an identical workload"
+                )
+    return violations
+
+
 def compare_recovery(
     baseline: Dict, fresh: Dict, tolerances: Tolerances = Tolerances()
 ) -> List[str]:
@@ -180,6 +244,7 @@ def compare_recovery(
                 f"{fresh_slowdown:.2f}x exceeds {ceiling:.2f}x "
                 f"(baseline {base_slowdown:.2f}x)"
             )
+    violations.extend(_compare_node_points(baseline, fresh, same_workload))
     return violations
 
 

@@ -11,9 +11,18 @@ the exact recovery overhead ``RunMetrics.recovery_overhead()`` — time
 lost to killed attempts, crash detection, backoffs and residual
 straggle, counted once per chain on its winning attempt.
 
+A second sweep charts *node* pressure: the per-(node, round) kill
+probability on a three-node cluster, run twice per point — once with
+round checkpointing enabled (the run resumes on replacement nodes) and
+once with it disabled (the first node loss aborts the run).  The same
+seeded coins fire in both modes, so each pair isolates exactly what the
+checkpoint layer buys.
+
 Results land in ``BENCH_recovery.json`` at the repo root (the CI
-perf-smoke job uploads it as an artifact) and in
-``benchmarks/results/recovery_cost.txt`` as a table.
+perf-smoke job uploads it as an artifact; the crash sweep fills
+``points``, the node sweep ``node_points``) and in
+``benchmarks/results/recovery_cost.txt`` /
+``benchmarks/results/node_recovery_cost.txt`` as tables.
 
 Knobs (environment):
 
@@ -36,9 +45,33 @@ ROWS = int(os.environ.get("REPRO_BENCH_RECOVERY_ROWS", "6000"))
 BASE_SEED = int(os.environ.get("REPRO_BENCH_RECOVERY_SEED", "1337"))
 #: Fault pressure axis: per-attempt crash AND straggle probability.
 PRESSURES = [0.0, 0.05, 0.1, 0.2]
+#: Node pressure axis: per-(node, round) kill probability.
+NODE_PRESSURES = [0.0, 0.25, 0.5]
+#: Failure domains for the node sweep (machines spread round-robin).
+NUM_NODES = 3
 RESULT_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_recovery.json"
 )
+
+
+def _merge_result(**updates):
+    """Read-modify-write ``BENCH_recovery.json`` so the crash sweep and
+    the node sweep can each run alone without clobbering the other's
+    section.  A stale artifact from a different workload is discarded."""
+    data = {"rows": ROWS, "base_seed": BASE_SEED}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+        except ValueError:
+            existing = {}
+        if (
+            existing.get("rows") == ROWS
+            and existing.get("base_seed") == BASE_SEED
+        ):
+            data = existing
+    data.update(updates)
+    RESULT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"[written to {RESULT_PATH}]")
 
 
 def _run_point(name, factory, relation, pressure):
@@ -99,10 +132,7 @@ def test_recovery_cost_sweep():
                 f"{row['speculative_wins']:6d}{row['recovered']:7d}"
             )
     write_result("recovery_cost", "\n".join(lines))
-    RESULT_PATH.write_text(json.dumps(
-        {"rows": ROWS, "base_seed": BASE_SEED, "points": rows}, indent=2,
-    ) + "\n")
-    print(f"[written to {RESULT_PATH}]")
+    _merge_result(points=rows)
 
     for name, points in by_engine.items():
         clean = points[0.0]
@@ -119,3 +149,92 @@ def test_recovery_cost_sweep():
                 continue
             assert row["attempts"] > clean["attempts"], (name, pressure)
             assert 0.0 < row["recovery_overhead_seconds"], (name, pressure)
+
+
+def _run_node_point(name, factory, relation, pressure, checkpointed):
+    fault_plan = None
+    if pressure > 0.0:
+        fault_plan = FaultPlan(
+            seed=derive_fault_seed(BASE_SEED, "node:" + name, pressure),
+            node_crash_prob=pressure,
+        )
+    cluster = paper_cluster(
+        len(relation),
+        fault_plan=fault_plan,
+        num_nodes=NUM_NODES,
+        checkpoint=checkpointed,
+    )
+    metrics = factory(cluster).compute(relation).metrics
+    return {
+        "engine": name,
+        "node_pressure": pressure,
+        "checkpointed": checkpointed,
+        "total_seconds": round(metrics.total_seconds, 3),
+        "nodes_lost": metrics.nodes_lost,
+        "resumed_rounds": metrics.resumed_rounds,
+        "recovery_overhead_seconds": round(metrics.recovery_overhead(), 3),
+        "completed": not metrics.aborted,
+        "failed": metrics.failed,
+    }
+
+
+def test_node_pressure_checkpoint_vs_abort():
+    relation = gen_zipf(ROWS, seed=9)
+    rows = []
+    for name, factory in PAPER_ALGORITHMS.items():
+        for pressure in NODE_PRESSURES:
+            for checkpointed in (True, False):
+                rows.append(_run_node_point(
+                    name, factory, relation, pressure, checkpointed,
+                ))
+
+    by_key = {
+        (row["engine"], row["node_pressure"], row["checkpointed"]): row
+        for row in rows
+    }
+
+    lines = [
+        f"node loss: checkpoint-resume vs abort-restart — gen-zipf, "
+        f"n={ROWS}, {NUM_NODES} nodes, seed base {BASE_SEED}",
+        "",
+        f"{'engine':10s}{'p':>6s}{'mode':>8s}{'time(s)':>10s}"
+        f"{'lost':>6s}{'resumed':>9s}{'overhead(s)':>13s}{'done':>6s}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for name in PAPER_ALGORITHMS:
+        for pressure in NODE_PRESSURES:
+            for checkpointed in (True, False):
+                row = by_key[(name, pressure, checkpointed)]
+                mode = "ckpt" if checkpointed else "abort"
+                done = "yes" if row["completed"] else "no"
+                lines.append(
+                    f"{name:10s}{pressure:6.2f}{mode:>8s}"
+                    f"{row['total_seconds']:10.1f}{row['nodes_lost']:6d}"
+                    f"{row['resumed_rounds']:9d}"
+                    f"{row['recovery_overhead_seconds']:13.1f}{done:>6s}"
+                )
+    write_result("node_recovery_cost", "\n".join(lines))
+    _merge_result(node_points=rows)
+
+    any_kill_fired = False
+    for name in PAPER_ALGORITHMS:
+        for checkpointed in (True, False):
+            calm = by_key[(name, 0.0, checkpointed)]
+            assert calm["completed"], (name, checkpointed)
+            assert calm["nodes_lost"] == 0, (name, checkpointed)
+            assert calm["resumed_rounds"] == 0, (name, checkpointed)
+        for pressure in NODE_PRESSURES[1:]:
+            ckpt = by_key[(name, pressure, True)]
+            abort = by_key[(name, pressure, False)]
+            # Same seed, same coins: both modes see the same kill schedule
+            # up to the first loss.
+            if ckpt["nodes_lost"] == 0:
+                continue
+            any_kill_fired = True
+            assert ckpt["completed"], (name, pressure)
+            assert ckpt["resumed_rounds"] >= 1, (name, pressure)
+            assert abort["nodes_lost"] >= 1, (name, pressure)
+            assert not abort["completed"], (name, pressure)
+            assert abort["resumed_rounds"] == 0, (name, pressure)
+    # The sweep is vacuous unless at least one seeded kill fires.
+    assert any_kill_fired

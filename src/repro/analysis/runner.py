@@ -47,6 +47,10 @@ METRICS: Dict[str, Callable[[RunMetrics], float]] = {
     "recovered": lambda m: float(m.recovered),
     "recovery_overhead_seconds": lambda m: m.recovery_overhead(),
     "aborted": lambda m: 1.0 if m.aborted else 0.0,
+    # Failure-domain counters (repro.mapreduce.checkpoint): node losses
+    # and the checkpoint-resume recoveries they triggered.
+    "nodes_lost": lambda m: float(m.nodes_lost),
+    "resumed_rounds": lambda m: float(m.resumed_rounds),
 }
 
 
@@ -135,6 +139,7 @@ def run_sweep(
     fault_seed: Optional[int] = None,
     crash_prob: float = 0.1,
     straggle_prob: float = 0.1,
+    node_crash_prob: float = 0.0,
     tracer=None,
 ) -> SweepResult:
     """Execute a full sweep: one point per workload, one run per factory.
@@ -153,14 +158,15 @@ def run_sweep(
     verify:
         Cross-check that all algorithms agree at every point (use on
         small workloads; it compares full cubes).
-    fault_seed, crash_prob, straggle_prob:
+    fault_seed, crash_prob, straggle_prob, node_crash_prob:
         When ``fault_seed`` is given, every run executes under a seeded
         :class:`~repro.mapreduce.faults.FaultPlan` with these per-attempt
-        probabilities — the same knobs the CLI exposes — so a sweep can
-        chart recovery cost versus fault pressure.  Each run gets its own
-        plan seeded by :func:`derive_fault_seed` ``(fault_seed,
-        algorithm, x)``, so fault schedules are independent across points
-        and curves rather than replaying one pattern sweep-wide.
+        (and, for ``node_crash_prob``, per-node-per-job) probabilities —
+        the same knobs the CLI exposes — so a sweep can chart recovery
+        cost versus fault pressure.  Each run gets its own plan seeded by
+        :func:`derive_fault_seed` ``(fault_seed, algorithm, x)``, so
+        fault schedules are independent across points and curves rather
+        than replaying one pattern sweep-wide.
     tracer:
         A :class:`~repro.observability.Tracer` attached to every run's
         cluster; the sweep's runs lay out consecutively on its simulated
@@ -184,6 +190,7 @@ def run_sweep(
                         seed=derive_fault_seed(fault_seed, algo_name, x),
                         crash_prob=crash_prob,
                         straggle_prob=straggle_prob,
+                        node_crash_prob=node_crash_prob,
                     ),
                 )
             instances[algo_name] = factory(run_cluster)
@@ -201,6 +208,8 @@ def paper_cluster(
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
     parallelism: Optional[int] = None,
+    num_nodes: Optional[int] = None,
+    checkpoint: bool = True,
 ) -> ClusterConfig:
     """The benchmark cluster: 20 machines, JVM-overhead-calibrated memory.
 
@@ -222,6 +231,8 @@ def paper_cluster(
         fault_plan=fault_plan,
         retry_policy=retry_policy or RetryPolicy(),
         parallelism=parallelism,
+        num_nodes=num_nodes,
+        checkpoint_enabled=checkpoint,
     )
 
 

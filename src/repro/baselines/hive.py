@@ -41,13 +41,13 @@ from typing import Dict, List, Optional, Tuple
 from ..aggregates.functions import AggregateFunction, Count
 from ..cubing.result import CubeResult
 from ..interface import CubeRun
+from ..mapreduce.checkpoint import RoundRunner
 from ..mapreduce.cluster import ClusterConfig
 from ..mapreduce.engine import (
     Mapper,
     MapReduceJob,
     Reducer,
     TaskFactory,
-    run_job,
 )
 from ..mapreduce.metrics import RunMetrics
 from ..observability.tracer import NULL_TRACER, emit_run_span
@@ -109,13 +109,14 @@ class HiveCube:
             ),
             reducer_factory=TaskFactory(_HiveReducer, aggregate),
         )
-        result = run_job(job, relation.split(k), self.cluster, m)
+        metrics = RunMetrics(algorithm=self.name)
+        runner = RoundRunner(self.cluster, metrics, run_id="hive")
+        result = runner.run(job, relation.split(k), m)
         # An aborted job (retry budget exhausted) already failed and has no
         # output; the stuck criterion only applies to completed runs.
         if not result.metrics.aborted:
             result.metrics.forced_failure = self._is_stuck(relation, m)
 
-        metrics = RunMetrics(algorithm=self.name, jobs=[result.metrics])
         metrics.extras["hash_capacity"] = hash_capacity
         cube = CubeResult(relation.schema)
         for (mask, values), value in result.output:

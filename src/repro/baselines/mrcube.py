@@ -32,13 +32,13 @@ from typing import Dict, List, Optional, Tuple
 from ..aggregates.functions import AggregateFunction, Count
 from ..cubing.result import CubeResult
 from ..interface import CubeRun
+from ..mapreduce.checkpoint import RoundRunner
 from ..mapreduce.cluster import ClusterConfig
 from ..mapreduce.engine import (
     Mapper,
     MapReduceJob,
     Reducer,
     TaskFactory,
-    run_job,
 )
 from ..mapreduce.metrics import RunMetrics
 from ..observability.tracer import NULL_TRACER, emit_run_span
@@ -74,17 +74,22 @@ class MRCube:
         metrics = RunMetrics(algorithm=self.name)
         tracer = self.cluster.tracer or NULL_TRACER
         self._run_base = tracer.clock
+        # All rounds run through the checkpoint/recovery layer; a node
+        # loss resumes the round instead of aborting the run.
+        runner = RoundRunner(self.cluster, metrics, run_id="mrcube")
 
         # ---- round 1: sample and annotate the lattice ----------------------
         alpha = sampling_probability(n, k, m)
-        shard_plan = self._sampling_round(relation, alpha, k, m, d, metrics)
+        shard_plan = self._sampling_round(
+            relation, alpha, k, m, d, metrics, runner
+        )
         if metrics.jobs[-1].aborted:
             return self._aborted_run(relation, metrics)
         metrics.extras["unfriendly_cuboids"] = len(shard_plan)
 
         # ---- round 2: materialize ------------------------------------------
         final_pairs, shard_pairs = self._materialization_round(
-            relation, shard_plan, k, m, d, metrics
+            relation, shard_plan, k, m, d, metrics, runner
         )
         if metrics.jobs[-1].aborted:
             return self._aborted_run(relation, metrics)
@@ -92,7 +97,9 @@ class MRCube:
         # ---- round 3: post-aggregate value-partitioned cuboids -------------
         if shard_pairs:
             final_pairs.extend(
-                self._post_aggregation_round(shard_pairs, k, m, metrics)
+                self._post_aggregation_round(
+                    shard_pairs, k, m, metrics, runner
+                )
             )
             if metrics.jobs[-1].aborted:
                 return self._aborted_run(relation, metrics)
@@ -125,6 +132,7 @@ class MRCube:
         m: int,
         d: int,
         metrics: RunMetrics,
+        runner: RoundRunner,
     ) -> Dict[int, int]:
         """Estimate per-cuboid max group size; return ``{mask: shards}``."""
         holder: List[Dict[int, int]] = []
@@ -145,8 +153,7 @@ class MRCube:
             # side channel pins the round to the driver process.
             driver_state=True,
         )
-        result = run_job(job, relation.split(k), self.cluster, m)
-        metrics.jobs.append(result.metrics)
+        result = runner.run(job, relation.split(k), m)
         metrics.extras["sample_size"] = result.metrics.map_output_records
         return holder[0] if holder else {}
 
@@ -160,6 +167,7 @@ class MRCube:
         m: int,
         d: int,
         metrics: RunMetrics,
+        runner: RoundRunner,
     ) -> Tuple[List, List]:
         aggregate = self.aggregate
 
@@ -171,8 +179,7 @@ class MRCube:
             ),
             combiner=_MergeCombiner(aggregate),
         )
-        result = run_job(job, relation.split(k), self.cluster, m)
-        metrics.jobs.append(result.metrics)
+        result = runner.run(job, relation.split(k), m)
 
         final_pairs: List = []
         shard_pairs: List = []
@@ -191,6 +198,7 @@ class MRCube:
         k: int,
         m: int,
         metrics: RunMetrics,
+        runner: RoundRunner,
     ) -> List:
         aggregate = self.aggregate
         job = MapReduceJob(
@@ -199,8 +207,7 @@ class MRCube:
             reducer_factory=TaskFactory(_FinalizeReducer, aggregate),
         )
         chunks = _spread(shard_pairs, k)
-        result = run_job(job, chunks, self.cluster, m)
-        metrics.jobs.append(result.metrics)
+        result = runner.run(job, chunks, m)
         return list(result.output)
 
 

@@ -25,13 +25,13 @@ from typing import List, Optional
 from ..aggregates.functions import AggregateFunction, Count
 from ..cubing.result import CubeResult
 from ..interface import CubeRun
+from ..mapreduce.checkpoint import RoundRunner
 from ..mapreduce.cluster import ClusterConfig
 from ..mapreduce.engine import (
     Mapper,
     MapReduceJob,
     Reducer,
     TaskFactory,
-    run_job,
 )
 from ..mapreduce.metrics import RunMetrics
 from ..observability.tracer import NULL_TRACER, emit_run_span
@@ -74,9 +74,10 @@ class NaiveCube:
             reducer_factory=TaskFactory(_NaiveReducer, aggregate),
             combiner=combiner,
         )
-        result = run_job(job, relation.split(k), self.cluster, m)
+        metrics = RunMetrics(algorithm=self.name)
+        runner = RoundRunner(self.cluster, metrics, run_id="naive")
+        result = runner.run(job, relation.split(k), m)
 
-        metrics = RunMetrics(algorithm=self.name, jobs=[result.metrics])
         cube = CubeResult(relation.schema)
         for (mask, values), value in result.output:
             cube.add(mask, values, value)

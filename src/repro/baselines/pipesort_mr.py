@@ -21,13 +21,13 @@ from ..aggregates.functions import AggregateFunction, Count
 from ..cubing.pipesort import aggregation_tree
 from ..cubing.result import CubeResult
 from ..interface import CubeRun
+from ..mapreduce.checkpoint import RoundRunner
 from ..mapreduce.cluster import ClusterConfig
 from ..mapreduce.engine import (
     Mapper,
     MapReduceJob,
     Reducer,
     TaskFactory,
-    run_job,
 )
 from ..mapreduce.metrics import RunMetrics
 from ..observability.tracer import NULL_TRACER, emit_run_span
@@ -59,6 +59,9 @@ class PipeSortMR:
         metrics = RunMetrics(algorithm=self.name)
         tracer = self.cluster.tracer or NULL_TRACER
         self._run_base = tracer.clock
+        # d + 1 rounds, each checkpointed: node losses resume the failed
+        # level instead of aborting the whole pipeline.
+        runner = RoundRunner(self.cluster, metrics, run_id="pipesort")
 
         # Round 0: the finest cuboid from the raw relation.
         job = MapReduceJob(
@@ -66,8 +69,7 @@ class PipeSortMR:
             mapper_factory=TaskFactory(_BaseMapper, d, aggregate),
             reducer_factory=TaskFactory(_MergeReducer, aggregate),
         )
-        result = run_job(job, relation.split(k), self.cluster, m)
-        metrics.jobs.append(result.metrics)
+        result = runner.run(job, relation.split(k), m)
         if result.metrics.aborted:
             return self._aborted_run(relation, metrics)
         level_states: Dict[Tuple[int, Tuple], object] = dict(result.output)
@@ -91,8 +93,7 @@ class PipeSortMR:
                 mapper_factory=TaskFactory(_DeriveMapper, children_of, d),
                 reducer_factory=TaskFactory(_MergeReducer, aggregate),
             )
-            result = run_job(job, _spread(parents, k), self.cluster, m)
-            metrics.jobs.append(result.metrics)
+            result = runner.run(job, _spread(parents, k), m)
             if result.metrics.aborted:
                 return self._aborted_run(relation, metrics)
             level_states = dict(result.output)
@@ -102,7 +103,9 @@ class PipeSortMR:
         for (mask, values), state in all_states.items():
             cube.add(mask, values, aggregate.finalize(state))
         metrics.output_groups = cube.num_groups
-        metrics.extras["rounds"] = len(metrics.jobs)
+        metrics.extras["rounds"] = sum(
+            1 for job_metrics in metrics.jobs if not job_metrics.superseded
+        )
         emit_run_span(tracer, metrics, self._run_base)
         return CubeRun(cube=cube, metrics=metrics)
 
@@ -110,7 +113,9 @@ class PipeSortMR:
         self, relation: Relation, metrics: RunMetrics
     ) -> CubeRun:
         """A level round exhausted its retry budget: stop, no output."""
-        metrics.extras["rounds"] = len(metrics.jobs)
+        metrics.extras["rounds"] = sum(
+            1 for job_metrics in metrics.jobs if not job_metrics.superseded
+        )
         emit_run_span(
             self.cluster.tracer or NULL_TRACER, metrics, self._run_base
         )

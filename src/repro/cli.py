@@ -22,8 +22,10 @@ Examples::
 
 The ``cube`` and ``compare`` commands take fault-injection knobs
 (``--fault-seed``, ``--crash-prob``, ``--straggle-prob``,
-``--max-task-attempts``) so task crashes, stragglers and the framework's
-recovery are reproducible from the command line, plus ``--parallelism N``
+``--max-task-attempts``, plus the failure-domain knobs ``--num-nodes``,
+``--node-crash-prob`` and ``--checkpoint/--no-checkpoint``) so task
+crashes, stragglers, whole-node losses and the framework's recovery are
+reproducible from the command line, plus ``--parallelism N``
 (or the ``REPRO_PARALLELISM`` environment variable) to fan map/reduce
 tasks out across worker processes — results are bit-identical to serial.
 Both also take observability knobs: ``--trace PATH`` writes a structured
@@ -100,6 +102,7 @@ def _cluster_from_args(args, num_rows: int):
                 seed=args.fault_seed,
                 crash_prob=args.crash_prob,
                 straggle_prob=args.straggle_prob,
+                node_crash_prob=args.node_crash_prob,
             )
         retry_policy = RetryPolicy(max_attempts=args.max_task_attempts)
         return paper_cluster(
@@ -108,6 +111,8 @@ def _cluster_from_args(args, num_rows: int):
             fault_plan=fault_plan,
             retry_policy=retry_policy,
             parallelism=args.parallelism,
+            num_nodes=args.num_nodes,
+            checkpoint=args.checkpoint,
         )
     except ValueError as error:
         raise SystemExit(f"repro: error: {error}") from None
@@ -136,6 +141,11 @@ def _print_survival(metrics) -> None:
         f"{metrics.speculative_wins} speculative wins, "
         f"{metrics.recovered} tasks recovered"
     )
+    if metrics.nodes_lost:
+        print(
+            f"node failures:   {metrics.nodes_lost} node(s) lost, "
+            f"{metrics.resumed_rounds} round(s) resumed from checkpoint"
+        )
 
 
 def _failure_reason(metrics) -> str:
@@ -348,6 +358,22 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--max-task-attempts", type=int, default=4, metavar="N",
         help="attempts per task before the job aborts (Hadoop default 4)",
+    )
+    group.add_argument(
+        "--num-nodes", type=int, default=None, metavar="N",
+        help="physical failure domains the machines are placed on "
+             "(default: one node per machine)",
+    )
+    group.add_argument(
+        "--node-crash-prob", type=float, default=0.0, metavar="P",
+        help="per-node per-job probability of losing a whole node (and "
+             "its DFS replicas) when --fault-seed is given",
+    )
+    group.add_argument(
+        "--checkpoint", action=argparse.BooleanOptionalAction, default=True,
+        help="checkpoint each completed round to the DFS and resume a "
+             "node-killed round from the last checkpoint instead of "
+             "aborting the run",
     )
 
 

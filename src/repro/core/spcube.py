@@ -44,6 +44,7 @@ from ..aggregates.classify import check_spcube_support
 from ..aggregates.functions import AggregateFunction, Count
 from ..cubing.result import CubeResult
 from ..interface import CubeRun
+from ..mapreduce.checkpoint import RoundRunner
 from ..mapreduce.cluster import ClusterConfig
 from ..mapreduce.dfs import DistributedFileSystem, ReplicaExhausted
 from ..mapreduce.engine import (
@@ -51,7 +52,6 @@ from ..mapreduce.engine import (
     MapReduceJob,
     Reducer,
     TaskFactory,
-    run_job,
     stable_hash,
 )
 from ..mapreduce.metrics import RunMetrics
@@ -106,7 +106,10 @@ class SPCube:
         self.dfs = (
             dfs
             if dfs is not None
-            else DistributedFileSystem(fault_plan=self.cluster.fault_plan)
+            else DistributedFileSystem(
+                fault_plan=self.cluster.fault_plan,
+                topology=self.cluster.topology(),
+            )
         )
 
     @property
@@ -123,8 +126,15 @@ class SPCube:
         metrics = RunMetrics(algorithm=self.name)
         tracer = self.cluster.tracer or NULL_TRACER
         run_base = tracer.clock
+        # Rounds run through the checkpoint/recovery layer: a node loss
+        # resumes from the last completed round instead of killing the
+        # run.  The runner owns metrics.jobs appends and shares this
+        # engine's DFS so checkpoints feel injected replica faults.
+        runner = RoundRunner(
+            self.cluster, metrics, dfs=self.dfs, run_id="spcube"
+        )
 
-        sketch = self._round_one(relation, n, k, m, metrics)
+        sketch = self._round_one(relation, n, k, m, metrics, runner)
         if metrics.jobs and metrics.jobs[-1].aborted:
             # Round 1 exhausted a task's retry budget: the driver aborts
             # the run before the cube round, as a real JobTracker would.
@@ -148,7 +158,7 @@ class SPCube:
                 },
             )
 
-        cube = self._round_two(relation, sketch, k, m, metrics)
+        cube = self._round_two(relation, sketch, k, m, metrics, runner)
         metrics.output_groups = cube.num_groups
         emit_run_span(tracer, metrics, run_base)
         return CubeRun(cube=cube, metrics=metrics, sketch=sketch)
@@ -162,6 +172,7 @@ class SPCube:
         k: int,
         m: int,
         metrics: RunMetrics,
+        runner: RoundRunner,
     ) -> SPSketch:
         d = relation.schema.num_dimensions
         if self.use_exact_sketch:
@@ -193,8 +204,7 @@ class SPCube:
             # side channel pins the round to the driver process.
             driver_state=True,
         )
-        result = run_job(job, relation.split(k), self.cluster, m)
-        metrics.jobs.append(result.metrics)
+        runner.run(job, relation.split(k), m)
 
         if holder:
             sketch = holder[0]
@@ -216,6 +226,7 @@ class SPCube:
         k: int,
         m: int,
         metrics: RunMetrics,
+        runner: RoundRunner,
     ) -> CubeResult:
         d = relation.schema.num_dimensions
         aggregate = self.aggregate
@@ -244,8 +255,7 @@ class SPCube:
             num_reducers=k + 1,
             partitioner=partitioner,
         )
-        result = run_job(job, relation.split(k), self.cluster, m)
-        metrics.jobs.append(result.metrics)
+        result = runner.run(job, relation.split(k), m)
         if result.metrics.aborted:
             return CubeResult(relation.schema)
 

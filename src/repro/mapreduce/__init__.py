@@ -1,6 +1,11 @@
 """Simulated MapReduce substrate: cluster, engine, metrics, cost model, DFS."""
 
-from .cluster import ClusterConfig
+from .checkpoint import (
+    CHECKPOINT_ROOT,
+    CheckpointManager,
+    RoundRunner,
+)
+from .cluster import ClusterConfig, NodeTopology
 from .costmodel import CostModel
 from .dfs import (
     DEFAULT_REPLICATION,
@@ -34,7 +39,14 @@ from .executor import (
     resolve_parallelism,
     run_task_chain,
 )
-from .faults import NO_FAULTS, FaultPlan, FaultSpec, RetryPolicy
+from .faults import (
+    NO_FAULTS,
+    NODE_KILL,
+    FaultPlan,
+    FaultSpec,
+    NodeFaultSpec,
+    RetryPolicy,
+)
 from .metrics import (
     JobMetrics,
     MetricsInvariantError,
@@ -44,7 +56,11 @@ from .metrics import (
 from .sizes import estimate_bytes, pair_bytes, relation_bytes
 
 __all__ = [
+    "CHECKPOINT_ROOT",
+    "CheckpointManager",
+    "RoundRunner",
     "ClusterConfig",
+    "NodeTopology",
     "CostModel",
     "DEFAULT_REPLICATION",
     "DistributedFileSystem",
@@ -52,8 +68,10 @@ __all__ = [
     "ReplicaExhausted",
     "FaultPlan",
     "FaultSpec",
+    "NodeFaultSpec",
     "RetryPolicy",
     "NO_FAULTS",
+    "NODE_KILL",
     "PairFormatError",
     "DEFAULT_OOM_QUORUM_FRACTION",
     "DEFAULT_OVERSIZED_DOMINANCE",

@@ -11,13 +11,75 @@ starts — exactly the paper's convention — and fixed for the rest of the run.
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import zlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from .costmodel import CostModel
 from .executor import build_executor, resolve_parallelism
 from .faults import FaultPlan, RetryPolicy
+
+#: Task-to-node placement policies understood by :class:`NodeTopology`.
+PLACEMENT_POLICIES = ("round-robin", "block")
+
+
+@dataclass(frozen=True)
+class NodeTopology:
+    """How the ``k`` logical machines map onto physical failure domains.
+
+    The paper's model schedules one map and one reduce task per *machine*;
+    real clusters pack several such slots onto each physical *node*, and a
+    node death takes every co-located task (and the node's DFS replicas)
+    down together.  The topology is a pure function of its parameters —
+    placement must be bit-identical between serial and parallel executors,
+    so nothing here may depend on execution order.
+
+    ``round-robin`` stripes machine ``i`` onto node ``i % num_nodes``
+    (Hadoop-style slot spreading); ``block`` packs contiguous machine
+    ranges per node, so one node death wipes a contiguous partition range.
+    """
+
+    num_nodes: int
+    num_machines: int
+    placement: str = "round-robin"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.num_nodes > self.num_machines:
+            raise ValueError("num_nodes must be <= num_machines")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                f"expected one of {PLACEMENT_POLICIES}"
+            )
+
+    def node_of(self, machine: int) -> int:
+        """The node that machine (task slot) ``machine`` lives on."""
+        if not 0 <= machine < self.num_machines:
+            raise ValueError(f"machine {machine} out of range")
+        if self.placement == "round-robin":
+            return machine % self.num_nodes
+        block = math.ceil(self.num_machines / self.num_nodes)
+        return machine // block
+
+    def machines_on(self, node: int) -> Tuple[int, ...]:
+        """All machine slots placed on ``node``."""
+        return tuple(
+            m for m in range(self.num_machines) if self.node_of(m) == node
+        )
+
+    def replica_node(self, path: str, replica: int) -> int:
+        """The node holding replica ``replica`` of a DFS path.
+
+        Replicas of one path land on distinct nodes (modulo wrap-around
+        when ``replication > num_nodes``), spread by a content hash of
+        the path so the replica ring is stable across runs.
+        """
+        base = zlib.crc32(repr(path).encode())
+        return (base + replica) % self.num_nodes
 
 
 @dataclass
@@ -56,6 +118,18 @@ class ClusterConfig:
         A :class:`~repro.observability.Tracer` receiving span/event
         records from every job run on this cluster (``None`` = the
         zero-overhead null tracer); see :mod:`repro.observability`.
+    num_nodes:
+        Physical failure domains the ``k`` machine slots are packed onto.
+        ``None`` gives every machine its own node — the pre-topology
+        behaviour, where a node death is just one task slot dying.
+    placement:
+        Task-to-node placement policy (``"round-robin"`` or ``"block"``);
+        see :class:`NodeTopology`.
+    checkpoint_enabled:
+        Whether multi-round engines persist each completed round to the
+        DFS and resume from the last checkpoint after a node loss,
+        instead of aborting the whole run; see
+        :class:`~repro.mapreduce.checkpoint.RoundRunner`.
     """
 
     num_machines: int = 20
@@ -67,6 +141,9 @@ class ClusterConfig:
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     parallelism: Optional[int] = None
     tracer: Optional[object] = None
+    num_nodes: Optional[int] = None
+    placement: str = "round-robin"
+    checkpoint_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.num_machines <= 0:
@@ -77,6 +154,19 @@ class ClusterConfig:
             raise ValueError("memory_slack must be >= 1")
         if self.parallelism is not None and self.parallelism < 1:
             raise ValueError("parallelism must be >= 1 when given")
+        # Validate topology parameters eagerly, at configuration time.
+        self.topology()
+
+    def topology(self) -> NodeTopology:
+        """The node topology machines are placed on (one node per machine
+        when ``num_nodes`` is unset)."""
+        return NodeTopology(
+            num_nodes=(
+                self.num_machines if self.num_nodes is None else self.num_nodes
+            ),
+            num_machines=self.num_machines,
+            placement=self.placement,
+        )
 
     def effective_parallelism(self) -> int:
         """The resolved worker count (explicit value, env var, or 1)."""
@@ -98,14 +188,4 @@ class ClusterConfig:
 
     def with_memory(self, memory_records: int) -> "ClusterConfig":
         """A copy of this config with ``m`` pinned explicitly."""
-        return ClusterConfig(
-            num_machines=self.num_machines,
-            memory_records=memory_records,
-            memory_slack=self.memory_slack,
-            cost_model=self.cost_model,
-            seed=self.seed,
-            fault_plan=self.fault_plan,
-            retry_policy=self.retry_policy,
-            parallelism=self.parallelism,
-            tracer=self.tracer,
-        )
+        return dataclasses.replace(self, memory_records=memory_records)

@@ -13,11 +13,21 @@ next replica — the recovery every real DFS client performs.  Only when
 *every* replica fails does the read raise :class:`ReplicaExhausted`.
 ``read`` always returns a fresh copy of the file's records, so callers can
 never mutate DFS state through an aliased return value.
+
+With a :class:`~repro.mapreduce.cluster.NodeTopology` attached the DFS is
+*placement-aware*: each path's replicas are pinned to nodes at write time
+(a stable ring walk from a content hash of the path, like HDFS block
+placement).  A node death (:meth:`mark_nodes_dead`) kills the replicas it
+hosted; paths that keep at least one live copy are re-replicated onto
+surviving nodes — HDFS's re-replication pipeline — and only a path whose
+*every* replica died becomes unreadable (:class:`ReplicaExhausted`).  This
+is the replication assumption the paper leans on: losing a node costs
+time, not data, unless replication is actually exhausted.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from .faults import FaultPlan
 from .sizes import estimate_bytes
@@ -41,47 +51,138 @@ class DistributedFileSystem:
         self,
         replication: int = DEFAULT_REPLICATION,
         fault_plan: Optional[FaultPlan] = None,
+        topology=None,
     ) -> None:
         if replication < 1:
             raise ValueError("replication must be >= 1")
         self._files: Dict[str, List] = {}
         self.replication = replication
         self.fault_plan = fault_plan
+        #: Node placement of each path's replicas (replica index -> node).
+        #: Only tracked when a topology is attached.
+        self._placement: Dict[str, List[int]] = {}
+        self.topology = topology
+        #: Nodes whose replicas are gone (see :meth:`mark_nodes_dead`).
+        self.dead_nodes: Set[int] = set()
+        #: Paths that lost every replica to node deaths.
+        self._lost: Set[str] = set()
         #: Dropped replica reads that were recovered by the next replica.
         self.read_retries = 0
         #: Reads that exhausted every replica.
         self.failed_reads = 0
+        #: Replicas re-created on surviving nodes after a node death.
+        self.re_replications = 0
+
+    # -- placement -----------------------------------------------------------
+
+    def _place(self, path: str) -> None:
+        """Pin ``path``'s replicas to nodes (stable ring from a path hash)."""
+        if self.topology is None:
+            return
+        nodes = []
+        live = [
+            n
+            for n in range(self.topology.num_nodes)
+            if n not in self.dead_nodes
+        ]
+        for replica in range(self.replication):
+            node = self.topology.replica_node(path, replica)
+            if node in self.dead_nodes and live:
+                # Walk the ring to the next live node, deterministically.
+                node = live[node % len(live)]
+            nodes.append(node)
+        self._placement[path] = nodes
+
+    def mark_nodes_dead(self, nodes: Iterable[int]) -> None:
+        """A batch of nodes died: kill their replicas, then re-replicate.
+
+        Mirrors HDFS block recovery.  All deaths in the batch land first
+        (simultaneous failure — a path replicated only across the dying
+        nodes is lost for good), then every path that kept at least one
+        live replica gets its dead replicas re-created on surviving
+        nodes, counted in ``re_replications``.  Without a topology this
+        is a no-op: there are no failure domains to lose.
+        """
+        if self.topology is None:
+            return
+        batch = set(nodes) - self.dead_nodes
+        if not batch:
+            return
+        self.dead_nodes |= batch
+        live = [
+            n
+            for n in range(self.topology.num_nodes)
+            if n not in self.dead_nodes
+        ]
+        for path in sorted(self._placement):
+            placement = self._placement[path]
+            dead_slots = [
+                i for i, node in enumerate(placement) if node in self.dead_nodes
+            ]
+            if not dead_slots:
+                continue
+            if len(dead_slots) == len(placement) or not live:
+                self._lost.add(path)
+                continue
+            # Re-replicate each dead slot onto a live node, walking the
+            # ring from the replica's original position.
+            for slot in dead_slots:
+                original = self.topology.replica_node(path, slot)
+                placement[slot] = live[original % len(live)]
+                self.re_replications += 1
+
+    # -- file operations -----------------------------------------------------
 
     def write(self, path: str, records: Iterable) -> int:
         """Store ``records`` under ``path``; returns the record count."""
         materialized = list(records)
         self._files[path] = materialized
+        self._lost.discard(path)
+        self._place(path)
         return len(materialized)
 
     def append(self, path: str, records: Iterable) -> int:
         """Append to ``path`` (creating it), as reducers writing a cuboid."""
         materialized = list(records)
-        self._files.setdefault(path, []).extend(materialized)
+        if path not in self._files:
+            self._files[path] = []
+            self._lost.discard(path)
+            self._place(path)
+        self._files[path].extend(materialized)
         return len(materialized)
 
-    def read(self, path: str) -> List:
+    def read(self, path: str, preferred_node: Optional[int] = None) -> List:
         """A copy of the records of ``path``.
 
+        ``preferred_node`` asks for node-local replica choice: replicas on
+        that node are tried first (rack-locality), then the rest in ring
+        order — the read result is identical either way, only the retry
+        accounting moves.
+
         Raises :class:`FileNotFound` if the path was never written and
-        :class:`ReplicaExhausted` when the fault plan kills the read on
-        all ``replication`` replicas.
+        :class:`ReplicaExhausted` when every replica is dead — either the
+        fault plan drops all ``replication`` read attempts, or node
+        deaths wiped every copy before re-replication could save one.
         """
         try:
             records = self._files[path]
         except KeyError:
             raise FileNotFound(path) from None
 
+        if path in self._lost:
+            self.failed_reads += 1
+            raise ReplicaExhausted(
+                f"{path}: all replicas lost to node failures"
+            )
+
         plan = self.fault_plan
         if plan is not None and not plan.is_empty:
-            for replica in range(self.replication):
+            for skipped, replica in enumerate(
+                self._replica_order(path, preferred_node)
+            ):
                 if not plan.drops_read(path, replica):
-                    # ``replica`` dead copies were skipped to get here.
-                    self.read_retries += replica
+                    # ``skipped`` dead copies were tried to get here.
+                    self.read_retries += skipped
                     break
             else:
                 self.failed_reads += 1
@@ -90,14 +191,49 @@ class DistributedFileSystem:
                 )
         return list(records)
 
+    def _replica_order(
+        self, path: str, preferred_node: Optional[int]
+    ) -> List[int]:
+        """Replica indices in the order a read tries them."""
+        order = list(range(self.replication))
+        if preferred_node is None or self.topology is None:
+            return order
+        placement = self._placement.get(path)
+        if placement is None:
+            return order
+        return sorted(
+            order,
+            key=lambda r: (
+                0 if r < len(placement) and placement[r] == preferred_node else 1,
+                r,
+            ),
+        )
+
     def exists(self, path: str) -> bool:
         return path in self._files
 
     def delete(self, path: str) -> None:
+        """Remove ``path`` and its placement record atomically."""
         self._files.pop(path, None)
+        self._placement.pop(path, None)
+        self._lost.discard(path)
 
-    def list_files(self) -> List[str]:
-        return sorted(self._files)
+    def delete_prefix(self, prefix: str) -> int:
+        """Remove every path starting with ``prefix``; returns the count.
+
+        Used by the checkpoint layer to retire a round's manifest and
+        parts as one operation.
+        """
+        doomed = [path for path in self._files if path.startswith(prefix)]
+        for path in doomed:
+            self.delete(path)
+        return len(doomed)
+
+    def list_files(self, prefix: Optional[str] = None) -> List[str]:
+        """Sorted paths, optionally restricted to a prefix."""
+        if prefix is None:
+            return sorted(self._files)
+        return sorted(p for p in self._files if p.startswith(prefix))
 
     def size_bytes(self, path: str) -> int:
         """Estimated serialized size of ``path`` — how sketch size is

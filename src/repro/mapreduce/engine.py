@@ -357,6 +357,13 @@ class JobResult:
     output: List[Pair]
     metrics: JobMetrics
     reducer_outputs: List[List[Pair]] = field(default_factory=list)
+    #: On a reduce-side abort: outputs of the partitions that *did*
+    #: complete before the merge hit the dead chain, keyed by partition
+    #: index.  The checkpoint layer salvages these so a resume reruns
+    #: only the lost partitions.  Empty on success and on map aborts.
+    partial_reducer_outputs: Dict[int, List[Pair]] = field(
+        default_factory=dict
+    )
 
 
 def _unpack_pair(item, job_name: str, phase: str, machine: int) -> Pair:
@@ -473,6 +480,7 @@ class _MapTask:
         faults: FaultPlan,
         retry: RetryPolicy,
         trace: bool = False,
+        node_kill_at: Optional[float] = None,
     ):
         self.job = job
         self.machine = machine
@@ -484,6 +492,7 @@ class _MapTask:
         self.faults = faults
         self.retry = retry
         self.trace = trace
+        self.node_kill_at = node_kill_at
 
     def __call__(self) -> TaskOutcome:
         return run_task_chain(
@@ -495,6 +504,7 @@ class _MapTask:
             retry=self.retry,
             cost=self.cost,
             trace=self.trace,
+            node_kill_at=self.node_kill_at,
         )
 
     def _attempt(self) -> Tuple[TaskMetrics, List]:
@@ -554,6 +564,7 @@ class _ReduceTask:
         faults: FaultPlan,
         retry: RetryPolicy,
         trace: bool = False,
+        node_kill_at: Optional[float] = None,
     ):
         self.job = job
         self.machine = machine
@@ -566,6 +577,7 @@ class _ReduceTask:
         self.faults = faults
         self.retry = retry
         self.trace = trace
+        self.node_kill_at = node_kill_at
 
     def __call__(self) -> TaskOutcome:
         return run_task_chain(
@@ -577,6 +589,7 @@ class _ReduceTask:
             retry=self.retry,
             cost=self.cost,
             trace=self.trace,
+            node_kill_at=self.node_kill_at,
         )
 
     def _attempt(self) -> Tuple[TaskMetrics, Tuple]:
@@ -666,6 +679,10 @@ def run_job(
     cluster: ClusterConfig,
     memory_records: int,
     executor=None,
+    *,
+    run_clock: float = 0.0,
+    replaced_nodes: frozenset = frozenset(),
+    completed_reducers: Optional[Dict[int, List[Pair]]] = None,
 ) -> JobResult:
     """Execute one MapReduce round over pre-split input.
 
@@ -682,6 +699,20 @@ def run_job(
         ``m``, the per-machine memory in records for this run.
     executor:
         Override the cluster's task executor (mostly for tests).
+    run_clock:
+        Run-relative simulated seconds at which this round starts — how
+        run-relative :class:`~repro.mapreduce.faults.NodeFaultSpec` kills
+        find the round whose window contains them.  Multi-round engines
+        thread this through :class:`~repro.mapreduce.checkpoint.RoundRunner`.
+    replaced_nodes:
+        Nodes already lost and re-provisioned earlier in the run; their
+        pinned/seeded kills are spent (see
+        :meth:`FaultPlan.node_kills_for_job`).
+    completed_reducers:
+        Partition outputs salvaged from a checkpoint or a partially
+        completed execution, keyed by partition index.  Those reduce
+        tasks are skipped and their outputs merged in place — partial
+        re-execution after a node loss.
 
     Outcomes are merged in task-index order and the merge stops at the
     first exhausted chain, so every backend — serial or parallel —
@@ -708,11 +739,29 @@ def run_job(
     trace_debug = trace_on and tracer.level >= LEVEL_DEBUG
     job_base = tracer.clock
 
+    # Node kills landing in this round's window, as job-relative times.
+    # A pure function of (plan, job name, run clock), so serial and
+    # parallel backends — and reruns after a resume — see identical kills.
+    topology = cluster.topology()
+    node_kills: Dict[int, float] = {}
+    if faults.has_node_faults:
+        node_kills = faults.node_kills_for_job(
+            job.name, run_clock, topology.num_nodes, replaced_nodes
+        )
+
+    def _kill_at(machine: int, phase_base: float) -> Optional[float]:
+        """Phase-relative kill instant for the node hosting ``machine``."""
+        if not node_kills:
+            return None
+        t = node_kills.get(topology.node_of(machine % cluster.num_machines))
+        return None if t is None else t - phase_base
+
     # ---- map phase --------------------------------------------------------
     map_tasks = [
         _MapTask(
             job, machine, chunk, num_reducers, cluster.num_machines,
             memory_records, cost, faults, retry, trace_tasks,
+            node_kill_at=_kill_at(machine, cost.round_startup_seconds),
         )
         for machine, chunk in enumerate(input_chunks)
     ]
@@ -764,6 +813,10 @@ def run_job(
 
     if metrics.aborted:
         metrics.total_seconds = metrics.map_phase_seconds
+        _record_node_losses(
+            tracer, trace_on, metrics, node_kills, topology,
+            job_base, job.name,
+        )
         if trace_on:
             _finish_job_trace(tracer, job.name, metrics, job_base)
         return JobResult(output=[], metrics=metrics, reducer_outputs=[])
@@ -784,13 +837,23 @@ def run_job(
 
     # ---- reduce phase -----------------------------------------------------
     physical = cluster.physical_memory(memory_records)
+    completed = completed_reducers or {}
+    reduce_rel = metrics.map_phase_seconds + metrics.shuffle_seconds
+    # Partitions already salvaged from a checkpoint are not re-executed;
+    # their outputs are merged back in partition order below.
+    reduce_machines = [
+        machine for machine in range(num_reducers) if machine not in completed
+    ]
     reduce_tasks = [
         _ReduceTask(
-            job, machine, bucket, reducer_bytes[machine], physical,
-            cluster.num_machines, memory_records, cost, faults, retry,
-            trace_tasks,
+            job, machine, reducer_buckets[machine], reducer_bytes[machine],
+            physical, cluster.num_machines, memory_records, cost, faults,
+            retry, trace_tasks,
+            node_kill_at=_kill_at(
+                machine, reduce_rel + cost.round_startup_seconds
+            ),
         )
-        for machine, bucket in enumerate(reducer_buckets)
+        for machine in reduce_machines
     ]
     phase_started = time.perf_counter()
     outcomes = executor.run_tasks(reduce_tasks, stop_early=_chain_exhausted)
@@ -798,10 +861,9 @@ def run_job(
 
     reduce_base = job_base + metrics.map_phase_seconds + metrics.shuffle_seconds
     reduce_start = reduce_base + cost.round_startup_seconds
-    output: List[Pair] = []
-    reducer_outputs: List[List[Pair]] = []
+    merged_outputs: Dict[int, List[Pair]] = dict(completed)
     dead_chain_seconds = 0.0
-    for machine, outcome in enumerate(outcomes):
+    for machine, outcome in zip(reduce_machines, outcomes):
         _merge_outcome(metrics, outcome)
         if trace_tasks:
             _emit_chain_trace(tracer, outcome, reduce_start)
@@ -836,8 +898,7 @@ def run_job(
                 fields={"records": task.spilled_records},
             )
         metrics.reduce_tasks.append(task)
-        output.extend(reducer_output)
-        reducer_outputs.append(reducer_output)
+        merged_outputs[machine] = reducer_output
 
     metrics.reduce_phase_seconds = cost.round_startup_seconds + max(
         max((t.seconds for t in metrics.reduce_tasks), default=0.0),
@@ -848,14 +909,63 @@ def run_job(
         + metrics.shuffle_seconds
         + metrics.reduce_phase_seconds
     )
+    _record_node_losses(
+        tracer, trace_on, metrics, node_kills, topology, job_base, job.name
+    )
     if trace_on:
         _emit_phase_span(tracer, job.name, "reduce", reduce_base, metrics)
         _finish_job_trace(tracer, job.name, metrics, job_base)
     if metrics.aborted:
-        return JobResult(output=[], metrics=metrics, reducer_outputs=[])
+        # Partitions merged before the dead chain (plus checkpointed
+        # skips) are salvageable by the round runner.
+        return JobResult(
+            output=[], metrics=metrics, reducer_outputs=[],
+            partial_reducer_outputs=merged_outputs,
+        )
+    output: List[Pair] = []
+    for machine in range(num_reducers):
+        output.extend(merged_outputs[machine])
     return JobResult(
-        output=output, metrics=metrics, reducer_outputs=reducer_outputs
+        output=output,
+        metrics=metrics,
+        reducer_outputs=[merged_outputs[m] for m in range(num_reducers)],
     )
+
+
+def _record_node_losses(
+    tracer,
+    trace_on: bool,
+    metrics: JobMetrics,
+    node_kills: Dict[int, float],
+    topology,
+    job_base: float,
+    job_name: str,
+) -> None:
+    """Fold the kills that actually fired into the round's metrics.
+
+    A kill fires when its instant lands strictly inside the round's
+    window ``[0, total_seconds)``; a later instant belongs to a later
+    round (the run clock will eventually contain it).  Fired nodes land
+    in ``metrics.dead_nodes`` — the signal the checkpoint layer keys its
+    resume decision on — and each emits one ``node_lost`` trace event.
+    """
+    if not node_kills:
+        return
+    fired = sorted(
+        node
+        for node, at in node_kills.items()
+        if at < metrics.total_seconds
+    )
+    metrics.dead_nodes = fired
+    if trace_on:
+        for node in fired:
+            tracer.event(
+                "node_lost", at=job_base + node_kills[node], job=job_name,
+                fields={
+                    "node": node,
+                    "machines": list(topology.machines_on(node)),
+                },
+            )
 
 
 def _emit_chain_trace(tracer, outcome: TaskOutcome, phase_start: float) -> None:

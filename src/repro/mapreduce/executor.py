@@ -92,6 +92,7 @@ def run_task_chain(
     retry: RetryPolicy,
     cost: CostModel,
     trace: bool = False,
+    node_kill_at: Optional[float] = None,
 ) -> TaskOutcome:
     """Drive one logical task through crash-retry and speculation.
 
@@ -101,6 +102,15 @@ def run_task_chain(
     covers the whole chain of failed attempts, detection delays, backoffs
     and the winner; an exhausted budget yields ``task=None`` with the
     dead chain's accumulated seconds.
+
+    ``node_kill_at`` is the phase-relative instant this task's node dies
+    (``None`` = the node survives).  An attempt overlapping that instant
+    is killed with only its pre-kill work lost; every retry after it is
+    placed on the same (now dead) slot and dies immediately, so the
+    chain deterministically exhausts — a node loss always surfaces as an
+    aborted round for the checkpoint layer to resume, never as a quiet
+    retry.  The cause is recorded on the crash event so traces separate
+    node deaths from ordinary task crashes.
 
     With ``trace=True`` the chain also buffers one attempt span per
     execution and one event per injected fault into ``outcome.trace``,
@@ -149,6 +159,43 @@ def run_task_chain(
 
         factor = faults.slowdown_factor(job_name, phase, machine, attempt)
         seconds = nominal * factor
+
+        if node_kill_at is not None and (
+            node_kill_at <= chain_seconds
+            or node_kill_at < chain_seconds + seconds
+        ):
+            # The node hosting this slot dies while the attempt runs (or
+            # was already dead when the attempt would have been placed).
+            # Only the pre-kill work is lost; detection and backoff are
+            # still paid before the (doomed) retry.
+            lost = min(max(node_kill_at - chain_seconds, 0.0), seconds)
+            task.killed = True
+            task.seconds = lost
+            backoff = retry.backoff_seconds(attempt + 1)
+            if records is not None:
+                records.append(
+                    _attempt_span(
+                        job_name, phase, machine, attempt,
+                        chain_seconds, chain_seconds + lost,
+                        "killed", task,
+                    )
+                )
+                records.append({
+                    "type": "event", "kind": "crash",
+                    "job": job_name, "phase": phase, "task": machine,
+                    "attempt": attempt, "at": chain_seconds + lost,
+                    "fields": {
+                        "lost_seconds": lost,
+                        "detection_seconds": cost.crash_detection_seconds,
+                        "backoff_seconds": backoff,
+                        "cause": "node-kill",
+                    },
+                })
+            chain_seconds += cost.retry_overhead_seconds(lost, backoff)
+            outcome.killed_tasks += 1
+            outcome.killed_attempts.append(task)
+            continue
+
         if records is not None and factor > 1.0:
             records.append({
                 "type": "event", "kind": "straggle",

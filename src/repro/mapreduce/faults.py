@@ -38,6 +38,9 @@ from typing import Optional, Sequence, Tuple
 CRASH = "crash"
 STRAGGLE = "straggle"
 READ_DROP = "read-drop"
+#: Node-level failure domain: every in-flight attempt on the node dies
+#: and the node's DFS replicas are lost (see :class:`NodeFaultSpec`).
+NODE_KILL = "node-kill"
 
 _KINDS = (CRASH, STRAGGLE, READ_DROP)
 
@@ -86,6 +89,38 @@ class FaultSpec:
         )
 
 
+@dataclass(frozen=True)
+class NodeFaultSpec:
+    """One pinned node death — a whole failure domain going down.
+
+    ``node`` names the topology node that dies.  Two targeting modes:
+
+    * ``job=None`` (the default): ``at_seconds`` is *run-relative*
+      simulated time — the node dies in whichever round's execution
+      window contains that instant.  A completed or resumed round
+      replaces the node (real clusters re-provision between rounds), so
+      a kill never fires twice.
+    * ``job="name"``: the kill targets that round specifically and
+      ``at_seconds`` is relative to the round's start — the natural way
+      to script "kill node 2 during round 2" in a test.
+
+    Every attempt in flight on the node at the kill instant dies
+    atomically, later attempts cannot be placed there, and the node's
+    DFS replicas are marked dead (see
+    :meth:`~repro.mapreduce.dfs.DistributedFileSystem.mark_nodes_dead`).
+    """
+
+    node: int
+    at_seconds: float = 0.0
+    job: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
+        if self.at_seconds < 0:
+            raise ValueError("at_seconds must be >= 0")
+
+
 class FaultPlan:
     """A deterministic schedule of injected faults.
 
@@ -96,6 +131,12 @@ class FaultPlan:
     the identifying tuple — pure functions of the seed and the identity,
     never of execution order, so a plan injects the same faults no matter
     which engine runs under it or how tasks interleave.
+
+    Node-level failure domains ride the same machinery:
+    :class:`NodeFaultSpec` entries pin node deaths explicitly, and
+    ``node_crash_prob`` draws one seeded coin per ``(node, job)`` pair —
+    a node that loses its coin dies at that round's start.  The engine
+    queries :meth:`node_kills_for_job` once per round.
     """
 
     def __init__(
@@ -107,11 +148,14 @@ class FaultPlan:
         straggle_prob: float = 0.0,
         straggle_slowdown: float = 4.0,
         read_drop_prob: float = 0.0,
+        node_specs: Sequence[NodeFaultSpec] = (),
+        node_crash_prob: float = 0.0,
     ):
         for name, prob in (
             ("crash_prob", crash_prob),
             ("straggle_prob", straggle_prob),
             ("read_drop_prob", read_drop_prob),
+            ("node_crash_prob", node_crash_prob),
         ):
             if not 0.0 <= prob <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {prob}")
@@ -123,13 +167,27 @@ class FaultPlan:
         self.straggle_prob = straggle_prob
         self.straggle_slowdown = straggle_slowdown
         self.read_drop_prob = read_drop_prob
+        self.node_specs: Tuple[NodeFaultSpec, ...] = tuple(node_specs)
+        self.node_crash_prob = node_crash_prob
 
     @property
     def is_empty(self) -> bool:
         """True when this plan can never inject anything."""
-        return not self.specs and not (
-            self.crash_prob or self.straggle_prob or self.read_drop_prob
+        return (
+            not self.specs
+            and not self.node_specs
+            and not (
+                self.crash_prob
+                or self.straggle_prob
+                or self.read_drop_prob
+                or self.node_crash_prob
+            )
         )
+
+    @property
+    def has_node_faults(self) -> bool:
+        """True when this plan may kill whole nodes."""
+        return bool(self.node_specs) or bool(self.node_crash_prob)
 
     # -- deterministic coin flips -------------------------------------------
 
@@ -171,6 +229,51 @@ class FaultPlan:
             factor = max(factor, self.straggle_slowdown)
         return factor
 
+    # -- queries asked by the round runner ----------------------------------
+
+    def node_kills_for_job(
+        self,
+        job: str,
+        job_base: float,
+        num_nodes: int,
+        replaced: frozenset = frozenset(),
+    ):
+        """Node kills that fire during ``job``, as ``{node: kill_seconds}``.
+
+        ``job_base`` is the run-relative simulated time at which the job
+        starts; returned kill times are *job-relative* (seconds after the
+        job's start).  ``replaced`` lists nodes already re-provisioned by
+        the round runner after an earlier death — their pinned kills are
+        spent and probabilistic coins are skipped, so a rerun of the same
+        round does not die to the same node twice.
+
+        Pure function of the plan and its arguments: serial and parallel
+        executors, and reruns after a resume, see identical kills.
+        """
+        kills: dict = {}
+        for spec in self.node_specs:
+            if spec.node in replaced or not 0 <= spec.node < num_nodes:
+                continue
+            if spec.job is not None:
+                if spec.job != job:
+                    continue
+                t = max(spec.at_seconds, 0.0)
+            else:
+                # Run-relative: fires in whichever job's window contains
+                # it.  Once the run clock passes at_seconds the kill is
+                # spent — t goes negative for every later job.
+                t = spec.at_seconds - job_base
+                if t < 0:
+                    continue
+            kills[spec.node] = min(kills.get(spec.node, t), t)
+        if self.node_crash_prob:
+            for node in range(num_nodes):
+                if node in replaced or node in kills:
+                    continue
+                if self._roll(NODE_KILL, node, job) < self.node_crash_prob:
+                    kills[node] = 0.0
+        return kills
+
     # -- queries asked by the DFS -------------------------------------------
 
     def drops_read(self, path: str, replica: int) -> bool:
@@ -188,7 +291,9 @@ class FaultPlan:
         return (
             f"FaultPlan(specs={len(self.specs)}, seed={self.seed}, "
             f"crash={self.crash_prob}, straggle={self.straggle_prob}, "
-            f"read_drop={self.read_drop_prob})"
+            f"read_drop={self.read_drop_prob}, "
+            f"node_specs={len(self.node_specs)}, "
+            f"node_crash={self.node_crash_prob})"
         )
 
 

@@ -109,6 +109,17 @@ class JobMetrics:
     executor: str = "serial"
     map_phase_wall_seconds: float = 0.0
     reduce_phase_wall_seconds: float = 0.0
+    #: Topology nodes that died during this round's window (sorted).  A
+    #: non-empty list on an aborted round is the checkpoint layer's
+    #: signal that the abort is *resumable* — caused by a failure domain
+    #: going down, not by a task exhausting its own retry budget.
+    dead_nodes: List[int] = field(default_factory=list)
+    #: True when this round's execution failed to a node loss and was
+    #: re-executed from a checkpoint: the record is kept for accounting
+    #: (its time is pure recovery cost) but superseded by a later
+    #: execution of the same round — run-level failure/abort status and
+    #: per-round aggregates skip it.
+    superseded: bool = False
 
     @property
     def avg_map_seconds(self) -> float:
@@ -154,8 +165,13 @@ class JobMetrics:
         charged to their chain's winner (see
         ``TaskMetrics.overhead_seconds``), so nothing is double-counted.
         An aborted round's dead chain has no winner; its cost shows in
-        the phase time but not here.
+        the phase time but not here.  A *superseded* execution (failed to
+        a node loss, re-executed from a checkpoint) is recovery cost in
+        its entirety: every simulated second it spent had to be spent
+        again.
         """
+        if self.superseded:
+            return self.total_seconds
         return sum(
             t.overhead_seconds for t in self.map_tasks
         ) + sum(t.overhead_seconds for t in self.reduce_tasks)
@@ -203,6 +219,11 @@ class JobMetrics:
             problems.append(
                 "map_output_records does not equal the winning map "
                 "attempts' records"
+            )
+        if self.superseded and not self.aborted:
+            problems.append(
+                "superseded implies aborted: only a failed execution "
+                "can be replaced by a rerun"
             )
         if not self.aborted and self.total_seconds and abs(
             self.total_seconds
@@ -288,18 +309,33 @@ class RunMetrics:
     def failed(self) -> bool:
         """True when the run got stuck: OOM-flagged reducers (Hive at
         p>=0.4), an aborted round (retry budget exhausted), or a fatal
-        out-of-job error."""
+        out-of-job error.  Superseded executions — rounds that failed to
+        a node loss but were re-executed from a checkpoint — do not fail
+        the run: recovery worked."""
         return self.fatal_error is not None or any(
-            job.failed for job in self.jobs
+            job.failed for job in self.jobs if not job.superseded
         )
 
     @property
     def aborted(self) -> bool:
         """True when a round aborted or the run died outside any job —
-        unlike an OOM flag, an aborted run has no trustworthy output."""
+        unlike an OOM flag, an aborted run has no trustworthy output.
+        Superseded (checkpoint-recovered) executions are excluded."""
         return self.fatal_error is not None or any(
-            job.aborted for job in self.jobs
+            job.aborted for job in self.jobs if not job.superseded
         )
+
+    @property
+    def nodes_lost(self) -> int:
+        """Topology nodes lost across the run (each round reports the
+        nodes that died in its window; a node dies at most once)."""
+        return sum(len(job.dead_nodes) for job in self.jobs)
+
+    @property
+    def resumed_rounds(self) -> int:
+        """Round executions that failed to a node loss and were replaced
+        by a checkpoint resume."""
+        return sum(1 for job in self.jobs if job.superseded)
 
     @property
     def attempts(self) -> int:
@@ -375,7 +411,10 @@ class RunMetrics:
         Multi-round algorithms surround the materialization round with
         cheap sampling/post-aggregation rounds; per-task averages quoted
         for the run (as the paper does) refer to the dominant round.
+        Superseded executions are skipped — their successful rerun
+        carries the round's real numbers.
         """
-        if not self.jobs:
+        live = [job for job in self.jobs if not job.superseded]
+        if not live:
             return None
-        return max(self.jobs, key=lambda job: job.map_output_records)
+        return max(live, key=lambda job: job.map_output_records)

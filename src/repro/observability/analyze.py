@@ -165,6 +165,31 @@ class TraceAnalysis:
                 count += 1
         return count
 
+    # -- failure domains and checkpoints ------------------------------------
+
+    def _events_of_kind(self, kind: str, job: Optional[str] = None):
+        return [
+            e for e in self._select(self.events, job) if e.get("kind") == kind
+        ]
+
+    def nodes_lost(self, job: Optional[str] = None) -> List[int]:
+        """Nodes reported dead (``node_lost`` events), in firing order."""
+        return [
+            e["fields"]["node"] for e in self._events_of_kind("node_lost", job)
+        ]
+
+    def checkpoint_writes(self, job: Optional[str] = None) -> List[Dict]:
+        """The ``fields`` of every committed-round checkpoint event."""
+        return [
+            e["fields"] for e in self._events_of_kind("checkpoint_write", job)
+        ]
+
+    def resumed_rounds(self, job: Optional[str] = None) -> List[Dict]:
+        """The ``fields`` of every ``round_resume`` event (partial reruns)."""
+        return [
+            e["fields"] for e in self._events_of_kind("round_resume", job)
+        ]
+
     # -- per-reducer load ---------------------------------------------------
 
     def reducer_records(self, job: str) -> Dict[int, int]:
@@ -315,6 +340,14 @@ class TraceAnalysis:
             "{speculative_wins} speculative wins, "
             "{recovered} tasks recovered".format(**recovery)
         )
+        lost = self.nodes_lost()
+        if lost:
+            resumes = self.resumed_rounds()
+            lines.append(
+                f"failure domains: {len(lost)} node(s) lost "
+                f"({sorted(set(lost))}), {len(resumes)} round resume(s), "
+                f"{len(self.checkpoint_writes())} checkpoint(s) committed"
+            )
         for span in self.jobs:
             job_seconds = span["t1"] - span["t0"]
             lines.append(

@@ -25,7 +25,8 @@ flat JSON-serializable dict of one of two shapes:
     {
         "type": "event",
         "kind": "crash" | "straggle" | "speculation" | "spill" | "oom"
-              | "route" | "shuffle" | "sketch" | "abort",
+              | "route" | "shuffle" | "sketch" | "abort"
+              | "node_lost" | "checkpoint_write" | "round_resume",
         "job": str, "phase": str, "task": int, "attempt": int,  # optional
         "at": float,            # simulated seconds since trace start
         "fields": {...},        # kind-specific payload
@@ -60,6 +61,9 @@ EVENT_KINDS = (
     "shuffle",
     "sketch",
     "abort",
+    "node_lost",
+    "checkpoint_write",
+    "round_resume",
 )
 
 #: Allowed values of a span's ``status`` field.

@@ -227,6 +227,27 @@ class ProgressSink:
                 f"{record.get('task')}"
             )
             return f"[fault] {kind} at {where} (t={record.get('at', 0):.1f}s)"
+        if kind == "node_lost":
+            fields = record.get("fields", {})
+            return (
+                f"[fault] node {fields.get('node')} lost during "
+                f"{record.get('job')} (t={record.get('at', 0):.1f}s)"
+            )
+        if kind == "checkpoint_write":
+            fields = record.get("fields", {})
+            return (
+                f"[ckpt ] round {fields.get('round')} checkpointed "
+                f"({fields.get('num_parts')} parts, "
+                f"t={record.get('at', 0):.1f}s)"
+            )
+        if kind == "round_resume":
+            fields = record.get("fields", {})
+            salvaged = fields.get("salvaged_partitions", [])
+            return (
+                f"[ckpt ] resuming round {fields.get('round')} "
+                f"({record.get('job')}): {len(salvaged)} partitions "
+                f"salvaged, nodes {fields.get('replaced_nodes')} replaced"
+            )
         return None
 
 

@@ -148,6 +148,64 @@ class TestRecoveryGate:
         assert gate_mod.compare_recovery(baseline, fresh, tight) != []
 
 
+def node_point(**overrides):
+    point = {
+        "engine": "SP-Cube", "node_pressure": 0.5, "checkpointed": True,
+        "total_seconds": 200.0, "nodes_lost": 2, "resumed_rounds": 2,
+        "recovery_overhead_seconds": 150.0, "completed": True,
+        "failed": False,
+    }
+    point.update(overrides)
+    return point
+
+
+class TestNodePointsGate:
+    def _report(self, node_points, rows=1000):
+        report = recovery_report(rows=rows)
+        report["node_points"] = node_points
+        return report
+
+    def test_identical_node_points_pass(self):
+        report = self._report([node_point()])
+        assert gate_mod.compare_recovery(report, report) == []
+
+    def test_old_baseline_without_node_points_is_tolerated(self):
+        # Baselines written before the node sweep lack the key entirely;
+        # the fresh artifact carrying it must not trip the gate (and the
+        # reverse pairing must not either).
+        old = recovery_report()
+        new = self._report([node_point()])
+        assert gate_mod.compare_recovery(old, new) == []
+        assert gate_mod.compare_recovery(new, old) == []
+
+    def test_completed_point_now_aborting_fails(self):
+        baseline = self._report([node_point()])
+        fresh = self._report([node_point(completed=False)])
+        violations = gate_mod.compare_recovery(baseline, fresh)
+        assert any("now aborts" in v for v in violations)
+
+    def test_loss_counter_drift_fails_on_same_workload(self):
+        baseline = self._report([node_point()])
+        fresh = self._report([node_point(nodes_lost=3)])
+        violations = gate_mod.compare_recovery(baseline, fresh)
+        assert any("nodes_lost changed 2 -> 3" in v for v in violations)
+
+    def test_counters_skipped_across_workloads(self):
+        baseline = self._report([node_point()])
+        fresh = self._report(
+            [node_point(nodes_lost=3, resumed_rounds=0)], rows=4000
+        )
+        assert gate_mod.compare_recovery(baseline, fresh) == []
+
+    def test_missing_node_point_fails(self):
+        baseline = self._report(
+            [node_point(), node_point(checkpointed=False, completed=False)]
+        )
+        fresh = self._report([node_point()])
+        violations = gate_mod.compare_recovery(baseline, fresh)
+        assert any("disappeared" in v and "abort" in v for v in violations)
+
+
 class TestGateCli:
     def _write(self, tmp_path, name, payload):
         path = tmp_path / name

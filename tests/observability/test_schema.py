@@ -88,6 +88,33 @@ class TestEventSchema:
         assert record_problems(event(fields=[1, 2]))
 
 
+class TestRecoveryEventRoundTrip:
+    """The failure-domain event kinds survive a JSONL write/read/validate."""
+
+    def test_new_kinds_round_trip_through_a_tracer(self, tmp_path):
+        from repro.observability import JsonlSink, Tracer
+        from repro.observability.analyze import load_trace
+
+        path = tmp_path / "recovery.jsonl"
+        tracer = Tracer([JsonlSink(path)], level="task")
+        tracer.event("node_lost", at=1.0, job="r2",
+                     fields={"node": 1, "machines": [1, 4]})
+        tracer.event("round_resume", at=2.0, job="r2",
+                     fields={"round": 1, "salvaged_partitions": [0],
+                             "replaced_nodes": [1]})
+        tracer.event("checkpoint_write", at=3.0, job="r2",
+                     fields={"round": 1, "num_parts": 6, "run_clock": 3.0})
+        tracer.close()
+        records = load_trace(path)
+        assert validate_records(records) == 3
+        assert [r["kind"] for r in records] == [
+            "node_lost", "round_resume", "checkpoint_write",
+        ]
+        assert records[0]["fields"] == {"node": 1, "machines": [1, 4]}
+        assert records[1]["fields"]["salvaged_partitions"] == [0]
+        assert records[2]["fields"]["num_parts"] == 6
+
+
 class TestValidators:
     def test_validate_record_raises(self):
         with pytest.raises(TraceSchemaError, match="status"):
