@@ -83,9 +83,18 @@ def _same_perf_workload(baseline: Dict, fresh: Dict) -> bool:
 
 
 def compare_perf(
-    baseline: Dict, fresh: Dict, tolerances: Tolerances = Tolerances()
+    baseline: Dict,
+    fresh: Dict,
+    tolerances: Tolerances = Tolerances(),
+    notes: Optional[List[str]] = None,
 ) -> List[str]:
-    """Violations of the perf bands (empty list = gate passes)."""
+    """Violations of the perf bands (empty list = gate passes).
+
+    ``notes``, when provided, collects informational lines that are
+    printed but never fail the gate — currently the parallel-vs-serial
+    ``speedup`` on single-core artifacts, where a process pool cannot
+    beat the serial executor no matter how good the IPC path is.
+    """
     violations: List[str] = []
 
     if baseline.get("cubes_identical") and not fresh.get("cubes_identical"):
@@ -127,6 +136,35 @@ def compare_perf(
                 f"{baseline['output_groups']} -> {fresh.get('output_groups')} "
                 "on an identical workload"
             )
+        base_speedup = baseline.get("speedup")
+        fresh_speedup = fresh.get("speedup")
+        if base_speedup and fresh_speedup:
+            # Parallel-vs-serial speedup only means anything when both
+            # artifacts had cores to parallelize across.  A single-core
+            # run measures pure pool overhead, so gating on it would let
+            # a single-core baseline mask a real executor regression on
+            # multi-core runners — and falsely flag multi-core baselines
+            # when CI lands on a one-core container.  Artifacts written
+            # before cpu_count existed are treated as single-core.
+            if (
+                baseline.get("cpu_count", 1) > 1
+                and fresh.get("cpu_count", 1) > 1
+            ):
+                floor = base_speedup * (1.0 - tolerances.hot_path)
+                if fresh_speedup < floor:
+                    violations.append(
+                        f"perf: parallel speedup fell to "
+                        f"{fresh_speedup:.2f}x (baseline "
+                        f"{base_speedup:.2f}x, floor {floor:.2f}x)"
+                    )
+            elif notes is not None:
+                notes.append(
+                    f"perf: speedup {fresh_speedup:.2f}x vs baseline "
+                    f"{base_speedup:.2f}x is informational "
+                    f"(cpu_count {baseline.get('cpu_count', 1)} -> "
+                    f"{fresh.get('cpu_count', 1)}; need >1 on both "
+                    "to gate)"
+                )
     return violations
 
 
@@ -254,11 +292,14 @@ def gate(
     recovery_baseline: Optional[Dict] = None,
     recovery_fresh: Optional[Dict] = None,
     tolerances: Tolerances = Tolerances(),
+    notes: Optional[List[str]] = None,
 ) -> List[str]:
     """All violations across whichever artifact pairs were provided."""
     violations: List[str] = []
     if perf_baseline is not None and perf_fresh is not None:
-        violations.extend(compare_perf(perf_baseline, perf_fresh, tolerances))
+        violations.extend(
+            compare_perf(perf_baseline, perf_fresh, tolerances, notes=notes)
+        )
     if recovery_baseline is not None and recovery_fresh is not None:
         violations.extend(
             compare_recovery(recovery_baseline, recovery_fresh, tolerances)
@@ -310,6 +351,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if all(base_path is None for _, base_path, _ in pairs):
         parser.error("nothing to compare: pass at least one artifact pair")
 
+    notes: List[str] = []
     violations = gate(
         perf_baseline=_load(args.perf_baseline),
         perf_fresh=_load(args.perf_fresh),
@@ -321,7 +363,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             slowdown=args.slowdown_tolerance,
             slowdown_slack=args.slowdown_slack,
         ),
+        notes=notes,
     )
+    for note in notes:
+        print(f"  (info) {note}")
     if violations:
         print(f"regression gate: {len(violations)} violation(s)")
         for violation in violations:

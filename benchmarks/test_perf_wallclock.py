@@ -13,6 +13,9 @@ Knobs (environment):
 ``REPRO_BENCH_ROWS``         workload size (default 200000)
 ``REPRO_BENCH_PARALLELISM``  worker processes for the parallel run
                              (default 4)
+``REPRO_BENCH_SWEEP``        comma-separated worker counts for the
+                             parallelism sweep (default ``1,2,4,8``;
+                             empty string disables the sweep)
 
 The speedup assertion is gated on the host's CPU count — a container
 pinned to one core cannot show parallel speedup no matter how correct
@@ -35,6 +38,11 @@ from repro.mapreduce.engine import _route_pairs
 
 ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "200000"))
 PARALLELISM = int(os.environ.get("REPRO_BENCH_PARALLELISM", "4"))
+SWEEP = [
+    int(token)
+    for token in os.environ.get("REPRO_BENCH_SWEEP", "1,2,4,8").split(",")
+    if token.strip()
+]
 RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
@@ -162,6 +170,31 @@ def test_perf_wallclock():
         job.executor == "parallel" for job in parallel_run.metrics.jobs
     )
 
+    # Parallelism sweep (ROADMAP item): one point per worker count, each
+    # carrying the host's cpu_count so a single-core container's flat (or
+    # inverted) curve is interpretable rather than alarming.  The main
+    # parallel run doubles as its own sweep point; a 1-worker pool point
+    # isolates pure IPC overhead against the serial executor.
+    sweep_points = []
+    for workers in SWEEP:
+        if workers == PARALLELISM:
+            sweep_run, sweep_wall = parallel_run, parallel_wall
+        else:
+            sweep_run, sweep_wall, _ = _timed_run(
+                paper_cluster(ROWS, parallelism=workers), relation
+            )
+        assert sweep_run.cube == serial_run.cube
+        sweep_points.append(
+            {
+                "workers": workers,
+                "cpu_count": cpus,
+                "wall_seconds": round(sweep_wall, 3),
+                "speedup_vs_serial": round(
+                    serial_wall / sweep_wall if sweep_wall > 0 else 0.0, 3
+                ),
+            }
+        )
+
     hot_path = _hot_path_micro()
     speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
     report = {
@@ -176,6 +209,7 @@ def test_perf_wallclock():
         "serial_wall_seconds": round(serial_wall, 3),
         "parallel_wall_seconds": round(parallel_wall, 3),
         "speedup": round(speedup, 3),
+        "parallelism_sweep": sweep_points,
         "serial_phases": serial_phases,
         "parallel_phases": parallel_phases,
         "cubes_identical": True,

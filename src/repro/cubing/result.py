@@ -47,12 +47,37 @@ class CubeResult:
         a distributed algorithm emitting a group twice is always a bug.
         """
         key = (mask, values)
-        if key in self._groups and self._groups[key] != aggregate_value:
+        # setdefault probes the dict once; the fast "new group" path does
+        # no second lookup, and re-insertion with an equal value (legal,
+        # e.g. merged partial outputs) is also a single probe.
+        existing = self._groups.setdefault(key, aggregate_value)
+        if existing is not aggregate_value and existing != aggregate_value:
             raise ValueError(
                 f"conflicting values for c-group {key}: "
-                f"{self._groups[key]!r} vs {aggregate_value!r}"
+                f"{existing!r} vs {aggregate_value!r}"
             )
-        self._groups[key] = aggregate_value
+
+    def add_pairs(self, pairs: List[Tuple[CGroup, object]]) -> None:
+        """Bulk-insert ``((mask, values), value)`` pairs — the shape engine
+        reduce output already has.
+
+        The fast path is a single C-speed ``dict.update``, valid because a
+        correct engine emits every c-group exactly once per job.  Key
+        repetition is detected by the length delta and re-validated
+        through :meth:`add`, reproducing its first-wins/raise semantics
+        exactly — the fast path is only taken on an empty result, so the
+        rebuild loses no prior state.
+        """
+        groups = self._groups
+        if groups:
+            for (mask, values), value in pairs:
+                self.add(mask, values, value)
+            return
+        groups.update(pairs)
+        if len(groups) != len(pairs):
+            self._groups = {}
+            for (mask, values), value in pairs:
+                self.add(mask, values, value)
 
     # -- access ---------------------------------------------------------------
 

@@ -1,5 +1,6 @@
 """Simulated MapReduce substrate: cluster, engine, metrics, cost model, DFS."""
 
+from .broadcast import Broadcast, unwrap
 from .checkpoint import (
     CHECKPOINT_ROOT,
     CheckpointManager,
@@ -27,6 +28,7 @@ from .engine import (
     TaskContext,
     TaskFactory,
     hash_partitioner,
+    paused_gc,
     run_job,
     stable_hash,
 )
@@ -56,6 +58,8 @@ from .metrics import (
 from .sizes import estimate_bytes, pair_bytes, relation_bytes
 
 __all__ = [
+    "Broadcast",
+    "unwrap",
     "CHECKPOINT_ROOT",
     "CheckpointManager",
     "RoundRunner",
@@ -85,6 +89,7 @@ __all__ = [
     "TaskContext",
     "TaskFactory",
     "hash_partitioner",
+    "paused_gc",
     "run_job",
     "stable_hash",
     "PARALLELISM_ENV",

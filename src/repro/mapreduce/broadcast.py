@@ -1,0 +1,155 @@
+"""Pickle-once broadcast of large read-only task state.
+
+The parallel executor ships every task across the process boundary by
+pickling it, and SP-Cube's round-2 tasks all close over the same large
+objects — the SP-Sketch appears in the mapper factory, the plan function
+*and* the partitioner, so a naive submit re-serializes it once per task
+per reference.  ``BENCH_perf.json`` showed the process pool *losing* to
+serial for exactly this reason.
+
+A :class:`Broadcast` is a tiny picklable handle around one value:
+
+* **Publishing** happens lazily on the first pickle: the wrapped value is
+  serialized once into a spill file under the system temp directory and
+  the handle thereafter pickles as ``(token, path)`` — a few dozen bytes
+  regardless of the value's size.
+* **Resolving** happens lazily on first access in the receiving process:
+  the file is read and unpickled once per process and cached under the
+  token, so a worker that executes hundreds of task batches deserializes
+  the sketch exactly once (the moral equivalent of Spark's
+  ``sc.broadcast`` or a Hadoop DistributedCache file).
+
+Why a spill file instead of a pool initializer: the executor's worker
+pools are process-global and cached across runs (see ``_POOLS`` in
+:mod:`repro.mapreduce.executor`), so per-run state cannot be injected at
+pool construction time without forfeiting pool reuse.  The file is the
+rendezvous point that works for any pool, any run, and any number of
+concurrent broadcasts.
+
+Determinism: a broadcast is pure plumbing.  The resolved value is the
+same object graph the driver pickled, the handle never appears in task
+*output*, and resolution order cannot influence results — tasks are pure
+functions of their inputs.  The driver's own cache is pre-seeded at
+construction time, so serial runs (and the thread-pool fallback, which
+never pickles) hand out the original object with zero copies.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import tempfile
+import threading
+from typing import Dict, Tuple
+
+#: Values resolved in this process, keyed by broadcast token.  Workers
+#: fill this on first access; the publishing process pre-seeds it so the
+#: driver never round-trips its own broadcast through the file.
+_CACHE: Dict[str, object] = {}
+_CACHE_LOCK = threading.Lock()
+
+#: Spill files published by this process, unlinked at interpreter exit.
+_PUBLISHED: Dict[str, str] = {}
+_SEQUENCE = 0
+
+
+def _next_token() -> str:
+    global _SEQUENCE
+    _SEQUENCE += 1
+    return f"repro-bcast-{os.getpid()}-{_SEQUENCE}"
+
+
+def _cleanup_published() -> None:
+    for path in _PUBLISHED.values():
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    _PUBLISHED.clear()
+
+
+atexit.register(_cleanup_published)
+
+
+class Broadcast:
+    """A picklable, pickle-once handle for a large read-only value.
+
+    >>> handle = Broadcast({"shared": "state"})
+    >>> handle.value
+    {'shared': 'state'}
+
+    Pass the handle (not the value) into task state; call ``.value``
+    wherever the real object is needed.  :func:`unwrap` accepts either a
+    handle or a plain value, so call sites can stay agnostic.
+    """
+
+    __slots__ = ("_value", "_token", "_path")
+
+    _UNRESOLVED = object()
+
+    def __init__(self, value):
+        self._value = value
+        self._token = _next_token()
+        self._path: str = ""
+        with _CACHE_LOCK:
+            _CACHE[self._token] = value
+
+    @property
+    def value(self):
+        """The wrapped value, resolving (once per process) if needed."""
+        if self._value is Broadcast._UNRESOLVED:
+            self._value = self._resolve()
+        return self._value
+
+    def _resolve(self):
+        with _CACHE_LOCK:
+            if self._token in _CACHE:
+                return _CACHE[self._token]
+        with open(self._path, "rb") as spill:
+            value = pickle.load(spill)
+        with _CACHE_LOCK:
+            # Another thread may have raced us; keep the first resolution
+            # so every task in this process sees one shared object.
+            value = _CACHE.setdefault(self._token, value)
+        return value
+
+    def _publish(self) -> None:
+        """Serialize the value into the spill file (first pickle only)."""
+        if self._path:
+            return
+        handle, path = tempfile.mkstemp(
+            prefix=self._token + "-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(handle, "wb") as spill:
+                pickle.dump(
+                    self._value, spill, protocol=pickle.HIGHEST_PROTOCOL
+                )
+        except BaseException:
+            os.unlink(path)
+            raise
+        self._path = path
+        _PUBLISHED[self._token] = path
+
+    def __getstate__(self) -> Tuple[str, str]:
+        if self._value is not Broadcast._UNRESOLVED:
+            self._publish()
+        return (self._token, self._path)
+
+    def __setstate__(self, state: Tuple[str, str]) -> None:
+        self._token, self._path = state
+        # Resolution is deferred to first .value access: pickling a task
+        # batch must stay cheap even when the value is never touched.
+        self._value = Broadcast._UNRESOLVED
+
+    def __repr__(self) -> str:
+        resolved = self._value is not Broadcast._UNRESOLVED
+        return f"Broadcast(token={self._token!r}, resolved={resolved})"
+
+
+def unwrap(ref):
+    """The value behind ``ref`` — a :class:`Broadcast` or a plain object."""
+    if isinstance(ref, Broadcast):
+        return ref.value
+    return ref

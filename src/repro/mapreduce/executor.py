@@ -34,6 +34,7 @@ what makes a task safe to execute in a worker process.
 from __future__ import annotations
 
 import atexit
+import gc
 import os
 import pickle
 from concurrent.futures import Executor as _FuturesExecutor
@@ -331,15 +332,68 @@ def _discard_pool(kind: str, max_workers: int) -> None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
+class _TaskBatch:
+    """A contiguous run of tasks executed as one pool submission.
+
+    Batching amortizes the per-submission overhead (one future, one
+    pickle round-trip, one result wakeup) over several tasks, and —
+    because one ``pickle.dumps`` memoizes shared objects — state
+    referenced by every task in the batch (the job description, a
+    partitioner, task factories) crosses the process boundary **once per
+    batch** instead of once per task.  Combined with
+    :class:`~repro.mapreduce.broadcast.Broadcast` for the genuinely
+    large shared state, the per-task IPC cost collapses to the task's
+    own chunk.
+
+    The batch preserves task order internally and the executor flattens
+    batch results in submission order, so outcome order — and therefore
+    the engine's merge — is identical to unbatched execution.
+    """
+
+    __slots__ = ("tasks",)
+
+    def __init__(self, tasks: Sequence[Callable[[], TaskOutcome]]):
+        self.tasks = tasks
+
+    def __call__(self) -> List[TaskOutcome]:
+        # Worker-side mirror of the engine's round-level GC pause: task
+        # execution allocates cycle-free tuples by the million, and the
+        # collector's full scans are pure overhead while a batch runs.
+        if gc.isenabled():
+            gc.disable()
+            try:
+                return [task() for task in self.tasks]
+            finally:
+                gc.enable()
+        return [task() for task in self.tasks]
+
+
+def batch_slices(num_tasks: int, num_batches: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` slices splitting ``num_tasks`` into at
+    most ``num_batches`` near-equal batches (earlier batches get the
+    remainder, mirroring how input chunks are split)."""
+    num_batches = max(1, min(num_batches, num_tasks))
+    base, extra = divmod(num_tasks, num_batches)
+    slices: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(num_batches):
+        stop = start + base + (1 if index < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
 class ParallelExecutor:
     """Fan a phase's tasks out across processes (threads as a fallback).
 
     A phase's first task is pickle-probed: picklable tasks go to a
     ``ProcessPoolExecutor`` (true parallelism), anything closing over
     lambdas or other non-picklable state runs on a thread pool instead
-    (same API, GIL-bound).  Either way the outcomes come back in
-    task-index order, so the engine's merge — and therefore the cube,
-    the metrics and the fault chains — is bit-identical to serial.
+    (same API, GIL-bound).  Tasks are submitted in contiguous
+    :class:`_TaskBatch` groups (``batches_per_worker`` per worker) to
+    amortize submit/serialize overhead.  Either way the outcomes come
+    back in task-index order, so the engine's merge — and therefore the
+    cube, the metrics and the fault chains — is bit-identical to serial.
 
     A broken pool (a worker segfaulted, or a task's *result* failed to
     pickle) degrades to the thread pool and re-runs the phase; tasks are
@@ -347,6 +401,11 @@ class ParallelExecutor:
     """
 
     name = "parallel"
+
+    #: Batches per worker: 1 would minimize IPC but lose all load
+    #: balancing; 2 keeps every worker busy while a straggling batch
+    #: finishes, at twice the (already amortized) submission cost.
+    batches_per_worker = 2
 
     def __init__(self, max_workers: int):
         if max_workers < 1:
@@ -373,8 +432,16 @@ class ParallelExecutor:
         self, kind: str, tasks: Sequence[Callable[[], TaskOutcome]]
     ) -> List[TaskOutcome]:
         pool = _get_pool(kind, self.max_workers)
-        futures = [pool.submit(task) for task in tasks]
-        return [future.result() for future in futures]
+        futures = [
+            pool.submit(_TaskBatch(tasks[start:stop]))
+            for start, stop in batch_slices(
+                len(tasks), self.max_workers * self.batches_per_worker
+            )
+        ]
+        outcomes: List[TaskOutcome] = []
+        for future in futures:
+            outcomes.extend(future.result())
+        return outcomes
 
     @staticmethod
     def _picklable(task) -> bool:

@@ -97,6 +97,44 @@ class TestPerfGate:
         violations = gate_mod.compare_perf(perf_report(), fresh)
         assert any("output groups" in v for v in violations)
 
+    def test_speedup_collapse_fails_on_multicore_artifacts(self):
+        baseline = perf_report(speedup=3.0, cpu_count=8)
+        fresh = perf_report(speedup=0.9, cpu_count=8)
+        violations = gate_mod.compare_perf(baseline, fresh)
+        assert any("parallel speedup" in v for v in violations)
+
+    def test_speedup_within_band_passes_on_multicore_artifacts(self):
+        # 3.0 -> 1.8 is a 40% drop, inside the default 50% band.
+        baseline = perf_report(speedup=3.0, cpu_count=8)
+        fresh = perf_report(speedup=1.8, cpu_count=8)
+        assert gate_mod.compare_perf(baseline, fresh) == []
+
+    def test_speedup_informational_on_single_core(self):
+        # A one-core container cannot beat the serial executor; the
+        # collapse must be reported as a note, never as a violation.
+        baseline = perf_report(speedup=3.0, cpu_count=8)
+        fresh = perf_report(speedup=0.4, cpu_count=1)
+        notes = []
+        violations = gate_mod.compare_perf(baseline, fresh, notes=notes)
+        assert violations == []
+        assert any("informational" in note for note in notes)
+
+    def test_speedup_informational_on_single_core_baseline(self):
+        # The committed single-core baseline must not mask (or flag)
+        # executor changes measured on multi-core runners.
+        baseline = perf_report(speedup=0.75, cpu_count=1)
+        fresh = perf_report(speedup=0.5, cpu_count=8)
+        notes = []
+        assert gate_mod.compare_perf(baseline, fresh, notes=notes) == []
+        assert notes
+
+    def test_speedup_skipped_without_cpu_count(self):
+        # Artifacts written before cpu_count existed are treated as
+        # single-core: informational, never gated.
+        baseline = perf_report(speedup=3.0)
+        fresh = perf_report(speedup=0.4)
+        assert gate_mod.compare_perf(baseline, fresh) == []
+
 
 class TestRecoveryGate:
     def test_identical_artifacts_pass(self):

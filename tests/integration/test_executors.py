@@ -126,11 +126,12 @@ def test_parallel_abort_matches_serial(binomial, engine_name):
     assert_runs_identical(serial, parallel)
 
 
-def test_driver_state_rounds_stay_serial(binomial):
-    """SP-Cube's sketch round funnels sampled rows through a driver-side
-    holder; it must be pinned to the serial backend while the cube round
-    parallelizes."""
+def test_all_rounds_use_configured_executor(binomial):
+    """Both SP-Cube rounds run on the configured backend.  The sketch
+    round historically smuggled the sketch out through a driver-side
+    holder object, which forced it onto the serial executor; it now
+    returns the sketch through the job's output pairs and parallelizes
+    like any other round."""
     run = SPCube(make_cluster(parallelism=3)).compute(binomial)
     executors = [job.executor for job in run.metrics.jobs]
-    assert executors[0] == "serial"
-    assert executors[-1] == "parallel"
+    assert executors == ["parallel"] * len(executors)

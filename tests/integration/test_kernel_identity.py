@@ -1,0 +1,252 @@
+"""Bit-identity of the round-2 hot-path kernels against their legacy oracles.
+
+The performance layer rewrote three hot paths — the BUC reduce kernel
+(sort + run-length instead of recursive dict-of-lists), the memoized
+map-side lattice walk, and the broadcast/batched parallel executor — under
+one invariant: **nothing observable may change**.  Cubes, counters, pair
+streams, metrics and traces must be byte-identical to what the legacy
+implementations produced, serial and parallel alike.
+
+This suite pins that invariant property-style:
+
+* ``buc_cube(kernel="array")`` versus ``kernel="legacy"`` across binomial,
+  zipf, adversarial and hand-built pathological datasets (mixed orderable
+  types, ``1`` vs ``True`` key conflation, duplicate-heavy rows), across
+  aggregates and iceberg thresholds;
+* the memoized ``_CubeMapper`` walk versus a cache-disabled replay of the
+  same records — identical emission stream, identical flush, counters that
+  add up;
+* every engine, serial versus parallel, on the adversarial dataset and
+  under injected faults (the binomial/zipf sweeps live in
+  ``test_executors.py``).
+"""
+
+import pytest
+
+from repro.aggregates.functions import get_aggregate
+from repro.core import SPCube
+from repro.core.sketch import build_exact_sketch
+from repro.core.spcube import _CubeMapper, _PlanFunction
+from repro.cubing.buc import buc_cube, iceberg_groups
+from repro.cubing.naive import sequential_cube
+from repro.datagen import adversarial_relation, gen_binomial, gen_zipf
+from repro.mapreduce import TaskContext
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+from .test_executors import (
+    ENGINES,
+    PLANS,
+    assert_runs_identical,
+    make_cluster,
+)
+
+
+def _mixed_type_relation():
+    """Rows whose dimension values defeat a plain ``sorted``: ints mixed
+    with strings (TypeError -> legacy partitioner fallback) and ``1``
+    alongside ``True`` (equal, distinct keys the dict build conflated)."""
+    schema = Schema(["a", "b"], measure="m")
+    rows = [
+        (1, "x", 2),
+        (True, "x", 3),
+        ("one", "y", 5),
+        (1, "y", 7),
+        ("one", "x", 11),
+        (0, "y", 13),
+        (False, "x", 17),
+    ]
+    return Relation(schema, rows, validate=False, name="mixed-types")
+
+
+def _duplicate_heavy_relation():
+    """Few distinct tuples, many rows — maximal memo hit rates."""
+    schema = Schema(["a", "b", "c"], measure="m")
+    rows = [
+        ("u", "v", "w", i % 3 + 1)
+        for i in range(120)
+    ] + [
+        ("u", "z", "w", i % 5) for i in range(60)
+    ] + [
+        ("q", "v", "r", 1) for _ in range(30)
+    ]
+    return Relation(schema, rows, validate=False, name="duplicate-heavy")
+
+
+DATASETS = {
+    "binomial": lambda: gen_binomial(400, 0.3, seed=9),
+    "zipf": lambda: gen_zipf(300, seed=5),
+    "adversarial": lambda: adversarial_relation(4, 200, seed=3),
+    "mixed-types": _mixed_type_relation,
+    "duplicate-heavy": _duplicate_heavy_relation,
+}
+
+
+class TestBUCKernelIdentity:
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    @pytest.mark.parametrize("agg_name", ["count", "sum", "avg"])
+    def test_full_cube_matches_legacy(self, dataset, agg_name):
+        relation = DATASETS[dataset]()
+        array = buc_cube(relation, get_aggregate(agg_name), kernel="array")
+        legacy = buc_cube(relation, get_aggregate(agg_name), kernel="legacy")
+        assert array == legacy, array.diff(legacy)
+        # Bit-identity includes emission order: CubeResult insertion order
+        # is the DFS preorder, which to_rows() normalizes away — compare
+        # the raw iteration order too.
+        assert list(array.items()) == list(legacy.items())
+
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    @pytest.mark.parametrize("min_support", [1, 2, 5])
+    def test_iceberg_matches_legacy(self, dataset, min_support):
+        relation = DATASETS[dataset]()
+        array = buc_cube(relation, min_support=min_support, kernel="array")
+        legacy = buc_cube(relation, min_support=min_support, kernel="legacy")
+        assert array == legacy, array.diff(legacy)
+        assert list(array.items()) == list(legacy.items())
+
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    def test_iceberg_groups_matches_legacy(self, dataset):
+        relation = DATASETS[dataset]()
+        d = relation.schema.num_dimensions
+        array = iceberg_groups(relation.rows, d, 2, kernel="array")
+        legacy = iceberg_groups(relation.rows, d, 2, kernel="legacy")
+        assert array == legacy
+        assert list(array.items()) == list(legacy.items())
+
+    def test_mask_restriction_matches_legacy(self):
+        relation = gen_binomial(300, 0.4, seed=21)
+        masks = [0b000, 0b011, 0b101]
+        array = buc_cube(relation, masks=masks, kernel="array")
+        legacy = buc_cube(relation, masks=masks, kernel="legacy")
+        assert array == legacy, array.diff(legacy)
+
+    def test_unknown_kernel_rejected(self):
+        relation = gen_binomial(50, 0.4, seed=1)
+        with pytest.raises(ValueError, match="unknown BUC kernel"):
+            buc_cube(relation, kernel="vectorized")
+        with pytest.raises(ValueError, match="unknown BUC kernel"):
+            iceberg_groups(relation.rows, 3, 1, kernel="")
+
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    def test_array_kernel_matches_naive_oracle(self, dataset):
+        relation = DATASETS[dataset]()
+        assert buc_cube(relation) == sequential_cube(relation)
+
+
+def _run_mapper(relation, sketch, chunks, *, defeat_memo=False):
+    """Drive a fresh ``_CubeMapper`` over ``chunks`` and capture the full
+    observable surface: emitted pairs (in order), close() flush, counters
+    and charged CPU.  With ``defeat_memo`` every record is mapped through
+    a cleared cache — the pure miss path the memo claims to replay."""
+    d = relation.schema.num_dimensions
+    plan = _PlanFunction(sketch, True, True)
+    mapper = _CubeMapper(d, get_aggregate("count"), sketch, plan)
+    context = TaskContext(0, 4, 32)
+    mapper.setup(context)
+    emitted = []
+    records = 0
+    for chunk in chunks:
+        if defeat_memo:
+            for record in chunk:
+                mapper._row_plans.clear()
+                plan._memo.clear()
+                count, pairs = mapper.map_chunk([record])
+                records += count
+                emitted.extend(pairs)
+        else:
+            count, pairs = mapper.map_chunk(chunk)
+            records += count
+            emitted.extend(pairs)
+    flushed = list(mapper.close())
+    return {
+        "records": records,
+        "emitted": emitted,
+        "flushed": flushed,
+        "counters": context.counters,
+        "cpu": context.extra_cpu,
+    }
+
+
+class TestLatticeWalkMemoIdentity:
+    @pytest.mark.parametrize(
+        "dataset", ["binomial", "zipf", "duplicate-heavy"]
+    )
+    def test_memoized_stream_matches_miss_path(self, dataset):
+        relation = DATASETS[dataset]()
+        sketch = build_exact_sketch(relation, 4, 16)
+        chunks = [
+            relation.rows[start : start + 64]
+            for start in range(0, len(relation.rows), 64)
+        ]
+        memoized = _run_mapper(relation, sketch, chunks)
+        replayed = _run_mapper(relation, sketch, chunks, defeat_memo=True)
+        assert memoized["records"] == replayed["records"]
+        assert memoized["emitted"] == replayed["emitted"]
+        assert memoized["flushed"] == replayed["flushed"]
+        assert memoized["cpu"] == replayed["cpu"]
+
+    def test_counters_account_for_every_record(self):
+        relation = _duplicate_heavy_relation()
+        sketch = build_exact_sketch(relation, 4, 16)
+        result = _run_mapper(relation, sketch, [relation.rows])
+        counters = result["counters"]
+        hits = counters.get("lattice_plan_hits", 0)
+        misses = counters.get("lattice_plan_misses", 0)
+        assert hits + misses == len(relation.rows)
+        # Three distinct dimension tuples: everything else must hit.
+        assert misses == 3
+        assert hits == len(relation.rows) - 3
+
+    def test_high_cardinality_is_all_misses(self):
+        relation = gen_binomial(200, 0.0, seed=2)
+        sketch = build_exact_sketch(relation, 4, 16)
+        result = _run_mapper(relation, sketch, [relation.rows])
+        counters = result["counters"]
+        distinct = len({row[:-1] for row in relation.rows})
+        assert counters.get("lattice_plan_misses", 0) == distinct
+
+
+class TestEngineBackendIdentity:
+    """Serial vs parallel on the adversarial dataset, incl. faults —
+    completing test_executors.py's binomial/zipf sweeps."""
+
+    @pytest.fixture(scope="class")
+    def adversarial(self):
+        return adversarial_relation(4, 300, seed=17)
+
+    @pytest.mark.parametrize("engine_name", sorted(ENGINES))
+    @pytest.mark.parametrize("plan_name", sorted(PLANS))
+    def test_parallel_matches_serial(
+        self, adversarial, engine_name, plan_name
+    ):
+        engine_cls = ENGINES[engine_name]
+        serial = engine_cls(make_cluster(PLANS[plan_name])).compute(
+            adversarial
+        )
+        parallel = engine_cls(
+            make_cluster(PLANS[plan_name], parallelism=3)
+        ).compute(adversarial)
+        assert_runs_identical(serial, parallel)
+
+    def test_spcube_counters_identical_across_backends(self, adversarial):
+        """The kernel counters (lattice plan, covered walk) are part of
+        the observable surface: same totals serial and parallel."""
+
+        def totals(run):
+            merged = {}
+            for job in run.metrics.jobs:
+                for task in job.map_tasks + job.reduce_tasks:
+                    for name, value in task.counters.items():
+                        merged[name] = merged.get(name, 0) + value
+            return merged
+
+        serial = SPCube(make_cluster()).compute(adversarial)
+        parallel = SPCube(make_cluster(parallelism=3)).compute(adversarial)
+        serial_totals = totals(serial)
+        assert totals(parallel) == serial_totals
+        assert serial_totals.get("lattice_plan_hits", 0) >= 0
+        assert (
+            serial_totals["lattice_plan_hits"]
+            + serial_totals["lattice_plan_misses"]
+            == 300
+        )
