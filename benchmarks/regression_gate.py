@@ -25,7 +25,12 @@ What is compared, and why the bands are where they are:
   drop to 50% of the committed value before the gate trips
   (``--hot-path-tolerance 0.5``), and a recovery slowdown may exceed the
   committed one by 50% plus an absolute slack of 0.5
-  (``--slowdown-tolerance 0.5``).
+  (``--slowdown-tolerance 0.5``).  The telemetry overhead ratio
+  (telemetry-on wall over telemetry-off wall, same serial workload) gets
+  a tighter band — 15% plus 0.05 slack — because both halves of the twin
+  run back-to-back in one process, so runner jitter largely cancels.
+  Baselines that predate the telemetry twin lack the key and are skipped
+  (a fresh-only ratio prints as an informational note).
 * **Absolute wall-clock — only on identical workloads.**  Seconds are
   meaningless across different row counts, so serial wall time and output
   group counts are checked only when the fresh artifact describes the
@@ -58,6 +63,8 @@ DEFAULT_WALL_TOLERANCE = 0.35
 DEFAULT_HOT_PATH_TOLERANCE = 0.5
 DEFAULT_SLOWDOWN_TOLERANCE = 0.5
 DEFAULT_SLOWDOWN_SLACK = 0.5
+DEFAULT_TELEMETRY_TOLERANCE = 0.15
+DEFAULT_TELEMETRY_SLACK = 0.05
 
 
 @dataclass(frozen=True)
@@ -73,6 +80,11 @@ class Tolerances:
     slowdown: float = DEFAULT_SLOWDOWN_TOLERANCE
     #: ...plus this absolute slack (ratios near 1.0 jitter additively).
     slowdown_slack: float = DEFAULT_SLOWDOWN_SLACK
+    #: Fresh telemetry on/off wall ratio may exceed baseline by this
+    #: fraction plus ``telemetry_slack`` (same additive-jitter argument
+    #: as slowdowns: the ratio hovers near 1.0).
+    telemetry: float = DEFAULT_TELEMETRY_TOLERANCE
+    telemetry_slack: float = DEFAULT_TELEMETRY_SLACK
 
 
 def _same_perf_workload(baseline: Dict, fresh: Dict) -> bool:
@@ -165,6 +177,30 @@ def compare_perf(
                     f"{fresh.get('cpu_count', 1)}; need >1 on both "
                     "to gate)"
                 )
+
+    # Telemetry overhead is a self-normalizing ratio (telemetry-on wall
+    # over telemetry-off wall of the same serial run), so it transfers
+    # across machines like the other ratio metrics.  Artifacts written
+    # before the telemetry twin existed lack the key; the band applies
+    # only when both artifacts carry it, so old baselines never trip —
+    # a fresh-only ratio is reported as an informational note instead.
+    base_ratio = baseline.get("telemetry", {}).get("overhead_ratio")
+    fresh_ratio = fresh.get("telemetry", {}).get("overhead_ratio")
+    if base_ratio is not None and fresh_ratio is not None:
+        ceiling = (
+            base_ratio * (1.0 + tolerances.telemetry)
+            + tolerances.telemetry_slack
+        )
+        if fresh_ratio > ceiling:
+            violations.append(
+                f"perf: telemetry overhead ratio {fresh_ratio:.3f}x "
+                f"exceeds {ceiling:.3f}x (baseline {base_ratio:.3f}x)"
+            )
+    elif fresh_ratio is not None and notes is not None:
+        notes.append(
+            f"perf: telemetry overhead ratio {fresh_ratio:.3f}x is "
+            "informational (baseline predates the telemetry twin)"
+        )
     return violations
 
 
@@ -337,6 +373,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--slowdown-slack", type=float, default=DEFAULT_SLOWDOWN_SLACK
     )
+    parser.add_argument(
+        "--telemetry-tolerance", type=float,
+        default=DEFAULT_TELEMETRY_TOLERANCE,
+    )
+    parser.add_argument(
+        "--telemetry-slack", type=float, default=DEFAULT_TELEMETRY_SLACK
+    )
     args = parser.parse_args(argv)
 
     pairs = [
@@ -362,6 +405,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             hot_path=args.hot_path_tolerance,
             slowdown=args.slowdown_tolerance,
             slowdown_slack=args.slowdown_slack,
+            telemetry=args.telemetry_tolerance,
+            telemetry_slack=args.telemetry_slack,
         ),
         notes=notes,
     )

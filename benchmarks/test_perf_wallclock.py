@@ -35,6 +35,9 @@ from repro.core import SPCube
 from repro.datagen import gen_binomial
 from repro.mapreduce import MapReduceJob, pair_bytes, stable_hash
 from repro.mapreduce.engine import _route_pairs
+from repro.observability import Telemetry
+
+from telemetry_overhead import null_guard_floor
 
 ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "200000"))
 PARALLELISM = int(os.environ.get("REPRO_BENCH_PARALLELISM", "4"))
@@ -195,6 +198,28 @@ def test_perf_wallclock():
             }
         )
 
+    # Telemetry overhead twin: the serial run again, with a collector
+    # attached.  Same workload, same cluster parameters — the wall ratio
+    # against the telemetry-off serial run is the attached cost CI and
+    # the regression gate band.  The null floor measures the detached
+    # cost (one attribute check) in ns.
+    telemetry = Telemetry(run_id="perf-bench")
+    telemetered_cluster = paper_cluster(ROWS)
+    telemetered_cluster.telemetry = telemetry
+    telemetered_run, telemetered_wall, _ = _timed_run(
+        telemetered_cluster, relation
+    )
+    assert telemetered_run.cube == serial_run.cube  # observation-only
+    telemetry_report = {
+        "telemetry_off_wall_seconds": round(serial_wall, 3),
+        "telemetry_on_wall_seconds": round(telemetered_wall, 3),
+        "overhead_ratio": round(
+            telemetered_wall / serial_wall if serial_wall > 0 else 0.0, 4
+        ),
+        "samples_collected": len(telemetry.samples),
+        "null_floor": null_guard_floor(),
+    }
+
     hot_path = _hot_path_micro()
     speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
     report = {
@@ -215,6 +240,7 @@ def test_perf_wallclock():
         "cubes_identical": True,
         "output_groups": serial_run.cube.num_groups,
         "hot_path": hot_path,
+        "telemetry": telemetry_report,
     }
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\n{json.dumps(report, indent=2)}\n[written to {RESULT_PATH}]")
@@ -222,6 +248,13 @@ def test_perf_wallclock():
     # The fast paths must beat the legacy loops they replaced.
     assert hot_path["stable_hash_speedup"] > 1.0
     assert hot_path["routing_speedup"] > 1.0
+
+    # The collector must actually have collected, and the disabled-path
+    # guard must stay in single-digit-nanoseconds territory; the wall
+    # ratio itself is banded by the regression gate, not asserted here
+    # (shared runners jitter more than the telemetry budget).
+    assert telemetry_report["samples_collected"] > 0
+    assert telemetry_report["null_floor"]["guard_ns_per_check"] < 1000
 
     # Parallel speedup needs cores to show up on; gate accordingly.
     if cpus >= 4 and PARALLELISM >= 4:

@@ -1,6 +1,13 @@
 """Experiment harness: sweeps, metrics, and paper-style reports."""
 
-from .charts import ascii_chart, chart_figure
+from .charts import (
+    ascii_chart,
+    chart_figure,
+    svg_bar_chart,
+    svg_line_chart,
+    svg_span_timeline,
+)
+from .htmlreport import build_report, write_report
 from .report import (
     available_metrics,
     format_figure,
@@ -24,6 +31,11 @@ from .runner import (
 __all__ = [
     "ascii_chart",
     "chart_figure",
+    "svg_bar_chart",
+    "svg_line_chart",
+    "svg_span_timeline",
+    "build_report",
+    "write_report",
     "available_metrics",
     "format_figure",
     "format_markdown_table",

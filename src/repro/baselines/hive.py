@@ -50,6 +50,7 @@ from ..mapreduce.engine import (
     TaskFactory,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.telemetry import emit_run_telemetry
 from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import all_cuboids, full_mask, projector
 from ..relation.relation import Relation
@@ -123,6 +124,7 @@ class HiveCube:
             cube.add(mask, values, value)
         metrics.output_groups = cube.num_groups
         emit_run_span(tracer, metrics, run_base)
+        emit_run_telemetry(self.cluster, metrics)
         return CubeRun(cube=cube, metrics=metrics)
 
     def _is_stuck(self, relation: Relation, memory_records: int) -> bool:

@@ -41,6 +41,7 @@ from ..mapreduce.engine import (
     TaskFactory,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.telemetry import emit_run_telemetry
 from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import all_cuboids, project, projector
 from ..relation.relation import Relation
@@ -111,6 +112,7 @@ class MRCube:
         emit_run_span(
             self.cluster.tracer or NULL_TRACER, metrics, self._run_base
         )
+        emit_run_telemetry(self.cluster, metrics)
         return CubeRun(cube=cube, metrics=metrics)
 
     def _aborted_run(
@@ -120,6 +122,7 @@ class MRCube:
         emit_run_span(
             self.cluster.tracer or NULL_TRACER, metrics, self._run_base
         )
+        emit_run_telemetry(self.cluster, metrics)
         return CubeRun(cube=CubeResult(relation.schema), metrics=metrics)
 
     # -- round 1 ----------------------------------------------------------------

@@ -34,6 +34,7 @@ from ..mapreduce.engine import (
     TaskFactory,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.telemetry import emit_run_telemetry
 from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import all_cuboids, projector
 from ..relation.relation import Relation
@@ -83,6 +84,7 @@ class NaiveCube:
             cube.add(mask, values, value)
         metrics.output_groups = cube.num_groups
         emit_run_span(tracer, metrics, run_base)
+        emit_run_telemetry(self.cluster, metrics)
         return CubeRun(cube=cube, metrics=metrics)
 
 

@@ -30,6 +30,7 @@ from ..mapreduce.engine import (
     TaskFactory,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.telemetry import emit_run_telemetry
 from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import full_mask, mask_size, project
 from ..relation.relation import Relation
@@ -107,6 +108,7 @@ class PipeSortMR:
             1 for job_metrics in metrics.jobs if not job_metrics.superseded
         )
         emit_run_span(tracer, metrics, self._run_base)
+        emit_run_telemetry(self.cluster, metrics)
         return CubeRun(cube=cube, metrics=metrics)
 
     def _aborted_run(
@@ -119,6 +121,7 @@ class PipeSortMR:
         emit_run_span(
             self.cluster.tracer or NULL_TRACER, metrics, self._run_base
         )
+        emit_run_telemetry(self.cluster, metrics)
         return CubeRun(cube=CubeResult(relation.schema), metrics=metrics)
 
 

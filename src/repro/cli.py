@@ -8,6 +8,8 @@ Commands
 ``sketch``         build and describe the SP-Sketch of a text relation
 ``analyze-trace``  summarize a trace file written with ``--trace``
 ``doctor``         audit sketch accuracy & load balance vs ground truth
+``metrics-export`` render a telemetry timeline as Prometheus text
+``report``         stitch run artifacts into one self-contained HTML page
 
 Examples::
 
@@ -17,8 +19,12 @@ Examples::
     python -m repro compare binomial --rows 10000 --fault-seed 7 --verify
     python -m repro sketch data.tsv
     python -m repro cube data.tsv --fault-seed 7 --trace run.trace.jsonl
-    python -m repro analyze-trace run.trace.jsonl
+    python -m repro analyze-trace run.trace.jsonl --format json
     python -m repro doctor --rows 4000 --machines 8 --json report.json
+    python -m repro cube data.tsv --telemetry run.timeline.jsonl
+    python -m repro metrics-export run.timeline.jsonl --check
+    python -m repro report --trace run.trace.jsonl \
+        --telemetry run.timeline.jsonl -o report.html
 
 The ``cube`` and ``compare`` commands take fault-injection knobs
 (``--fault-seed``, ``--crash-prob``, ``--straggle-prob``,
@@ -29,9 +35,10 @@ reproducible from the command line, plus ``--parallelism N``
 (or the ``REPRO_PARALLELISM`` environment variable) to fan map/reduce
 tasks out across worker processes — results are bit-identical to serial.
 Both also take observability knobs: ``--trace PATH`` writes a structured
-JSONL trace of the run (``--trace-level`` picks the detail), and
-``--progress`` prints live per-job/fault lines to stderr; see
-:mod:`repro.observability`.
+JSONL trace of the run (``--trace-level`` picks the detail),
+``--telemetry PATH`` writes a metrics timeline (inspect with
+``metrics-export`` or fold into ``report``), and ``--progress`` prints
+live per-job/fault lines to stderr; see :mod:`repro.observability`.
 """
 
 from __future__ import annotations
@@ -57,9 +64,13 @@ from .datagen import (
 from .observability import (
     JsonlSink,
     ProgressSink,
+    Telemetry,
+    TimelineAnalysis,
+    TimelineError,
     TraceAnalysis,
     TraceSchemaError,
     Tracer,
+    check_prometheus_text,
 )
 from .relation import format_cuboid, format_group
 
@@ -133,6 +144,28 @@ def _tracer_from_args(args):
         raise SystemExit(f"repro: error: {error}") from None
 
 
+def _telemetry_from_args(args, run_id: str):
+    """Build the run's telemetry collector from ``--telemetry`` (or None)."""
+    if not args.telemetry:
+        return None
+    try:
+        return Telemetry(cadence=args.telemetry_cadence, run_id=run_id)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+
+
+def _finish_telemetry(cluster, args) -> None:
+    """Write the timeline artifact if telemetry was on."""
+    telemetry = getattr(cluster, "telemetry", None)
+    if telemetry is None:
+        return
+    telemetry.write_timeline(args.telemetry)
+    print(
+        f"telemetry timeline written to {args.telemetry} "
+        f"({len(telemetry.samples)} samples)"
+    )
+
+
 def _print_survival(metrics) -> None:
     """One line on how the framework kept the run alive under faults."""
     print(
@@ -158,6 +191,7 @@ def cmd_cube(args) -> int:
     relation = repro_io.read_relation(args.input)
     cluster = _cluster_from_args(args, len(relation))
     cluster.tracer = _tracer_from_args(args)
+    cluster.telemetry = _telemetry_from_args(args, run_id=args.engine)
     engine_cls = ENGINES[args.engine]
     engine = engine_cls(cluster, get_aggregate(args.aggregate))
     try:
@@ -167,6 +201,7 @@ def cmd_cube(args) -> int:
             cluster.tracer.close()
     if args.trace:
         print(f"trace written to {args.trace}")
+    _finish_telemetry(cluster, args)
 
     if args.output:
         lines = repro_io.write_cube(run.cube, args.output)
@@ -187,6 +222,7 @@ def cmd_compare(args) -> int:
     relation = _generate_dataset(args.dataset, args.rows, args.skew, args.seed)
     cluster = _cluster_from_args(args, len(relation))
     cluster.tracer = _tracer_from_args(args)
+    cluster.telemetry = _telemetry_from_args(args, run_id=args.dataset)
     engines = {
         name: ENGINES[name](cluster, get_aggregate(args.aggregate))
         for name in args.engines
@@ -198,6 +234,7 @@ def cmd_compare(args) -> int:
             cluster.tracer.close()
     if args.trace:
         print(f"trace written to {args.trace}\n")
+    _finish_telemetry(cluster, args)
 
     with_faults = args.fault_seed is not None
     header = f"{'engine':12s}{'time(s)':>10s}{'traffic(MB)':>13s}{'status':>10s}"
@@ -273,8 +310,107 @@ def cmd_analyze_trace(args) -> int:
         print(f"trace schema violation: {error}", file=sys.stderr)
         return 1
     if args.validate:
-        print(f"{len(analysis.records)} records, schema ok")
-    print(analysis.format_summary())
+        print(f"{len(analysis.records)} records, schema ok",
+              file=sys.stderr if args.format == "json" else sys.stdout)
+    if args.format == "json":
+        import json
+
+        # summary_dict() self-validates against SUMMARY_SCHEMA, so a
+        # summary that reaches stdout is guaranteed well-formed.
+        print(json.dumps(analysis.summary_dict(), indent=2, sort_keys=True))
+    else:
+        print(analysis.format_summary())
+    return 0
+
+
+def cmd_metrics_export(args) -> int:
+    try:
+        analysis = TimelineAnalysis.from_file(args.timeline)
+        registry = analysis.registry()
+    except (OSError, TimelineError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    text = registry.prometheus_text()
+    problems = check_prometheus_text(text)
+    if problems:
+        for problem in problems:
+            print(f"exposition problem: {problem}", file=sys.stderr)
+        return 1
+    if args.check:
+        print(
+            f"{len(text.splitlines())} exposition lines, format ok",
+            file=sys.stderr,
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"exposition written to {args.output}", file=sys.stderr)
+    elif args.serve is None:
+        print(text, end="")
+    if args.serve is not None:
+        _serve_metrics(text, args.serve)
+    return 0
+
+
+def _serve_metrics(text: str, port: int) -> None:
+    """Serve the exposition at ``/metrics`` until interrupted."""
+    from http.server import BaseHTTPRequestHandler, HTTPServer
+
+    payload = text.encode("utf-8")
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path not in ("/metrics", "/"):
+                self.send_error(404)
+                return
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, *_args):
+            pass
+
+    server = HTTPServer(("127.0.0.1", port), Handler)
+    print(
+        f"serving /metrics on http://127.0.0.1:{server.server_port} "
+        "(Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+def cmd_report(args) -> int:
+    from .analysis.htmlreport import write_report
+
+    if not any(
+        (args.trace, args.telemetry, args.doctor_json,
+         args.perf_json, args.recovery_json)
+    ):
+        raise SystemExit(
+            "repro: error: report needs at least one input artifact "
+            "(--trace/--telemetry/--doctor-json/--perf-json/--recovery-json)"
+        )
+    try:
+        write_report(
+            args.output,
+            trace=args.trace,
+            telemetry=args.telemetry,
+            doctor=args.doctor_json,
+            perf=args.perf_json,
+            recovery=args.recovery_json,
+            title=args.title,
+        )
+    except (OSError, ValueError, KeyError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    print(f"report written to {args.output}")
     return 0
 
 
@@ -326,6 +462,17 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--progress", action="store_true",
         help="print live per-job and per-fault progress lines to stderr",
+    )
+    group.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="collect runtime metrics and write a JSONL timeline "
+             "(inspect with 'repro metrics-export PATH' or fold into "
+             "'repro report')",
+    )
+    group.add_argument(
+        "--telemetry-cadence", type=float, default=0.0, metavar="SECONDS",
+        help="minimum logical seconds between kept samples of one series "
+             "(0 keeps everything; downsampling is deterministic)",
     )
 
 
@@ -449,7 +596,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the record count after the schema check (the check "
              "itself always runs; violations exit 1)",
     )
+    analyze.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="text = the human-readable report, json = the stable "
+             "machine-readable summary (schema_version 1, append-only keys)",
+    )
     analyze.set_defaults(fn=cmd_analyze_trace)
+
+    metrics_export = sub.add_parser(
+        "metrics-export",
+        help="rebuild the Prometheus text exposition from a telemetry "
+             "timeline written with --telemetry",
+    )
+    metrics_export.add_argument("timeline")
+    metrics_export.add_argument(
+        "--check", action="store_true",
+        help="report the line count after the format check (the check "
+             "itself always runs; violations exit 1)",
+    )
+    metrics_export.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="write the exposition to a file instead of stdout",
+    )
+    metrics_export.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve the exposition at /metrics on 127.0.0.1:PORT "
+             "(0 picks a free port) until interrupted",
+    )
+    metrics_export.set_defaults(fn=cmd_metrics_export)
+
+    report = sub.add_parser(
+        "report",
+        help="stitch a run's artifacts (trace, telemetry timeline, doctor "
+             "audit, BENCH files) into one self-contained HTML page",
+    )
+    report.add_argument("--trace", metavar="PATH",
+                        help="JSONL trace written with --trace")
+    report.add_argument("--telemetry", metavar="PATH",
+                        help="JSONL timeline written with --telemetry")
+    report.add_argument("--doctor-json", metavar="PATH",
+                        help="doctor report written with 'doctor --json'")
+    report.add_argument("--perf-json", metavar="PATH",
+                        help="BENCH_perf.json from the perf bench")
+    report.add_argument("--recovery-json", metavar="PATH",
+                        help="BENCH_recovery.json from the recovery bench")
+    report.add_argument("--title", default="repro run report")
+    report.add_argument("-o", "--output", default="report.html")
+    report.set_defaults(fn=cmd_report)
 
     doctor = sub.add_parser(
         "doctor",

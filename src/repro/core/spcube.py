@@ -57,6 +57,7 @@ from ..mapreduce.engine import (
     stable_hash,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.telemetry import emit_run_telemetry
 from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import project, projector
 from ..relation.relation import Relation
@@ -152,6 +153,7 @@ class SPCube:
             # Round 1 exhausted a task's retry budget: the driver aborts
             # the run before the cube round, as a real JobTracker would.
             emit_run_span(tracer, metrics, run_base)
+            emit_run_telemetry(self.cluster, metrics, dfs=self.dfs)
             return CubeRun(
                 cube=CubeResult(relation.schema), metrics=metrics,
                 sketch=sketch,
@@ -174,6 +176,7 @@ class SPCube:
         cube = self._round_two(relation, sketch, k, m, metrics, runner)
         metrics.output_groups = cube.num_groups
         emit_run_span(tracer, metrics, run_base)
+        emit_run_telemetry(self.cluster, metrics, dfs=self.dfs)
         return CubeRun(cube=cube, metrics=metrics, sketch=sketch)
 
     # -- round 1: sketch ---------------------------------------------------------

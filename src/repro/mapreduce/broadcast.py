@@ -53,6 +53,24 @@ _CACHE_LOCK = threading.Lock()
 _PUBLISHED: Dict[str, str] = {}
 _SEQUENCE = 0
 
+#: Per-process broadcast accounting: handles published (spill files
+#: written), cache hits (resolutions served from ``_CACHE``, including the
+#: driver's pre-seeded own values), and spill loads (file deserialized).
+#: Worker processes keep their own copies; the driver's numbers are what
+#: telemetry samples, as "host"-source diagnostics.
+_STATS = {"publishes": 0, "cache_hits": 0, "spill_loads": 0}
+
+
+def broadcast_stats() -> Dict[str, int]:
+    """A snapshot of this process's broadcast cache accounting."""
+    return dict(_STATS)
+
+
+def reset_broadcast_stats() -> None:
+    """Zero the accounting (tests and per-run attribution)."""
+    for key in _STATS:
+        _STATS[key] = 0
+
 
 def _next_token() -> str:
     global _SEQUENCE
@@ -105,9 +123,11 @@ class Broadcast:
     def _resolve(self):
         with _CACHE_LOCK:
             if self._token in _CACHE:
+                _STATS["cache_hits"] += 1
                 return _CACHE[self._token]
         with open(self._path, "rb") as spill:
             value = pickle.load(spill)
+        _STATS["spill_loads"] += 1
         with _CACHE_LOCK:
             # Another thread may have raced us; keep the first resolution
             # so every task in this process sees one shared object.
@@ -131,6 +151,7 @@ class Broadcast:
             raise
         self._path = path
         _PUBLISHED[self._token] = path
+        _STATS["publishes"] += 1
 
     def __getstate__(self) -> Tuple[str, str]:
         if self._value is not Broadcast._UNRESOLVED:

@@ -118,6 +118,11 @@ class ClusterConfig:
         A :class:`~repro.observability.Tracer` receiving span/event
         records from every job run on this cluster (``None`` = the
         zero-overhead null tracer); see :mod:`repro.observability`.
+    telemetry:
+        A :class:`~repro.observability.Telemetry` collector sampling
+        metric series (shuffle bytes, reducer load, node liveness, …)
+        from every job run on this cluster (``None`` = the zero-overhead
+        null telemetry); see :mod:`repro.observability.telemetry`.
     num_nodes:
         Physical failure domains the ``k`` machine slots are packed onto.
         ``None`` gives every machine its own node — the pre-topology
@@ -141,6 +146,7 @@ class ClusterConfig:
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     parallelism: Optional[int] = None
     tracer: Optional[object] = None
+    telemetry: Optional[object] = None
     num_nodes: Optional[int] = None
     placement: str = "round-robin"
     checkpoint_enabled: bool = True

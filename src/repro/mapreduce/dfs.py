@@ -72,6 +72,9 @@ class DistributedFileSystem:
         self.failed_reads = 0
         #: Replicas re-created on surviving nodes after a node death.
         self.re_replications = 0
+        #: Write/append calls and records they stored (telemetry).
+        self.writes = 0
+        self.records_written = 0
 
     # -- placement -----------------------------------------------------------
 
@@ -139,6 +142,8 @@ class DistributedFileSystem:
         self._files[path] = materialized
         self._lost.discard(path)
         self._place(path)
+        self.writes += 1
+        self.records_written += len(materialized)
         return len(materialized)
 
     def append(self, path: str, records: Iterable) -> int:
@@ -149,6 +154,8 @@ class DistributedFileSystem:
             self._lost.discard(path)
             self._place(path)
         self._files[path].extend(materialized)
+        self.writes += 1
+        self.records_written += len(materialized)
         return len(materialized)
 
     def read(self, path: str, preferred_node: Optional[int] = None) -> List:

@@ -82,6 +82,7 @@ from typing import (
     Tuple,
 )
 
+from ..observability.telemetry import NULL_TELEMETRY, SECONDS_BUCKETS
 from ..observability.tracer import (
     LEVEL_DEBUG,
     LEVEL_TASK,
@@ -870,6 +871,12 @@ def _run_job(
     trace_tasks = trace_on and tracer.level >= LEVEL_TASK
     trace_debug = trace_on and tracer.level >= LEVEL_DEBUG
     job_base = tracer.clock
+    telemetry = cluster.telemetry or NULL_TELEMETRY
+    telem_on = telemetry.enabled
+    # Telemetry keeps its own logical clock: the tracer's only advances
+    # when tracing is on, and sample times must not depend on whether a
+    # trace sink happens to be attached.
+    telem_base = telemetry.clock
 
     # Node kills landing in this round's window, as job-relative times.
     # A pure function of (plan, job name, run clock), so serial and
@@ -947,10 +954,15 @@ def _run_job(
         metrics.total_seconds = metrics.map_phase_seconds
         _record_node_losses(
             tracer, trace_on, metrics, node_kills, topology,
-            job_base, job.name,
+            job_base, job.name, telemetry, telem_base,
         )
         if trace_on:
             _finish_job_trace(tracer, job.name, metrics, job_base)
+        if telem_on:
+            _sample_job_telemetry(
+                telemetry, job, metrics, telem_base, executor
+            )
+            telemetry.advance(metrics.total_seconds)
         return JobResult(output=[], metrics=metrics, reducer_outputs=[])
 
     # ---- shuffle ----------------------------------------------------------
@@ -1042,11 +1054,15 @@ def _run_job(
         + metrics.reduce_phase_seconds
     )
     _record_node_losses(
-        tracer, trace_on, metrics, node_kills, topology, job_base, job.name
+        tracer, trace_on, metrics, node_kills, topology, job_base, job.name,
+        telemetry, telem_base,
     )
     if trace_on:
         _emit_phase_span(tracer, job.name, "reduce", reduce_base, metrics)
         _finish_job_trace(tracer, job.name, metrics, job_base)
+    if telem_on:
+        _sample_job_telemetry(telemetry, job, metrics, telem_base, executor)
+        telemetry.advance(metrics.total_seconds)
     if metrics.aborted:
         # Partitions merged before the dead chain (plus checkpointed
         # skips) are salvageable by the round runner.
@@ -1072,6 +1088,8 @@ def _record_node_losses(
     topology,
     job_base: float,
     job_name: str,
+    telemetry=NULL_TELEMETRY,
+    telem_base: float = 0.0,
 ) -> None:
     """Fold the kills that actually fired into the round's metrics.
 
@@ -1097,6 +1115,20 @@ def _record_node_losses(
                     "node": node,
                     "machines": list(topology.machines_on(node)),
                 },
+            )
+    if telemetry.enabled and fired:
+        lost = telemetry.counter(
+            "repro_nodes_lost_total", "Failure domains lost to node kills"
+        )
+        up = telemetry.gauge(
+            "repro_node_up", "Node liveness (1 = serving, 0 = dead)"
+        )
+        for node in fired:
+            lost.inc()
+            up.set(0, labels={"node": node})
+            telemetry.sample(
+                "node_up", 0, labels={"node": node},
+                at=telem_base + node_kills[node],
             )
 
 
@@ -1179,6 +1211,102 @@ def _finish_job_trace(
         },
     )
     tracer.advance(metrics.total_seconds)
+
+
+def _sample_job_telemetry(
+    telemetry, job: MapReduceJob, metrics: JobMetrics, telem_base: float,
+    executor,
+) -> None:
+    """Record one finished round's metric series and registry updates.
+
+    Called once per job with ``telemetry.enabled`` already checked by the
+    caller.  Every ``"sim"``-source sample here is a pure function of the
+    job metrics and the logical clock, so serial and parallel backends
+    record bit-identical points; backend- and wall-clock-dependent
+    quantities (executor shape, phase wall seconds, driver RSS) are
+    tagged ``"host"`` and excluded from identity comparisons.
+    """
+    from ..observability.telemetry import driver_rss_bytes
+
+    name = job.name
+    labels = {"job": name}
+    t_map = telem_base + metrics.map_phase_seconds
+    t_shuffle = t_map + metrics.shuffle_seconds
+    t_end = telem_base + metrics.total_seconds
+
+    telemetry.counter(
+        "repro_jobs_total", "MapReduce rounds executed"
+    ).inc(labels=labels)
+    telemetry.counter(
+        "repro_shuffle_bytes_total", "Bytes shuffled from map to reduce"
+    ).inc(metrics.map_output_bytes, labels=labels)
+    telemetry.counter(
+        "repro_shuffle_records_total", "Pairs shuffled from map to reduce"
+    ).inc(metrics.map_output_records, labels=labels)
+    telemetry.counter(
+        "repro_task_attempts_total", "Task attempts including retries"
+    ).inc(metrics.attempts, labels=labels)
+    if metrics.killed_tasks:
+        telemetry.counter(
+            "repro_tasks_killed_total", "Attempts killed by injected faults"
+        ).inc(metrics.killed_tasks, labels=labels)
+
+    phase_hist = telemetry.histogram(
+        "repro_phase_seconds", "Simulated seconds per phase",
+        buckets=SECONDS_BUCKETS,
+    )
+    for phase, seconds in (
+        ("map", metrics.map_phase_seconds),
+        ("shuffle", metrics.shuffle_seconds),
+        ("reduce", metrics.reduce_phase_seconds),
+    ):
+        phase_hist.observe(seconds, labels={"phase": phase})
+    reduce_hist = telemetry.histogram(
+        "repro_reduce_task_records", "Input records per reduce task"
+    )
+    for task in metrics.reduce_tasks:
+        reduce_hist.observe(task.records_in, labels=labels)
+
+    telemetry.sample("shuffle_bytes", metrics.map_output_bytes,
+                     labels=labels, at=t_map)
+    telemetry.sample("shuffle_records", metrics.map_output_records,
+                     labels=labels, at=t_map)
+    telemetry.sample("phase_seconds", metrics.map_phase_seconds,
+                     labels={"job": name, "phase": "map"}, at=t_map)
+    telemetry.sample("phase_seconds", metrics.shuffle_seconds,
+                     labels={"job": name, "phase": "shuffle"}, at=t_shuffle)
+    telemetry.sample("phase_seconds", metrics.reduce_phase_seconds,
+                     labels={"job": name, "phase": "reduce"}, at=t_end)
+    for task in metrics.reduce_tasks:
+        telemetry.sample(
+            "reducer_records", task.records_in,
+            labels={"job": name, "task": task.machine}, at=t_end,
+        )
+
+    # Host-side diagnostics: real memory, real time, backend shape.
+    wall = metrics.map_phase_wall_seconds + metrics.reduce_phase_wall_seconds
+    telemetry.sample("job_wall_seconds", wall, labels=labels,
+                     at=t_end, source="host")
+    stats = getattr(executor, "last_run_stats", None)
+    if stats:
+        telemetry.gauge(
+            "repro_executor_queue_depth",
+            "Batches waiting behind busy workers in the last phase",
+        ).set(stats["max_queue_depth"], labels={"backend": stats["backend"]})
+        telemetry.gauge(
+            "repro_executor_inflight_batches",
+            "Batches concurrently in flight in the last phase",
+        ).set(stats["max_in_flight"], labels={"backend": stats["backend"]})
+        telemetry.sample("executor_queue_depth", stats["max_queue_depth"],
+                         labels=labels, at=t_end, source="host")
+        telemetry.sample("executor_inflight_batches", stats["max_in_flight"],
+                         labels=labels, at=t_end, source="host")
+    rss = driver_rss_bytes()
+    if rss is not None:
+        telemetry.gauge(
+            "repro_driver_rss_bytes", "Peak driver resident-set size"
+        ).set(rss)
+        telemetry.sample("driver_rss_bytes", rss, at=t_end, source="host")
 
 
 def _apply_combiner(

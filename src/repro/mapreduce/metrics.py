@@ -9,12 +9,39 @@ extras (e.g. the SP-Sketch serialized size).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional
 
 
 class MetricsInvariantError(AssertionError):
     """A metrics object violates the engine's accounting contract."""
+
+
+class UnknownMetricsFieldWarning(UserWarning):
+    """A serialized metrics record carried fields this version ignores."""
+
+
+def _known_fields(cls, data: Dict) -> Dict:
+    """``data`` restricted to ``cls``'s dataclass fields (forward compat).
+
+    Artifacts written by a *newer* version may carry fields this version
+    does not know; crashing on them would make every BENCH/trace archive
+    unreadable the moment a field lands.  Unknown keys are dropped with a
+    :class:`UnknownMetricsFieldWarning` naming them, so the skew is
+    visible but never fatal.
+    """
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        warnings.warn(
+            f"{cls.__name__}.from_dict: ignoring unknown fields {unknown} "
+            "(artifact written by a newer version?)",
+            UnknownMetricsFieldWarning,
+            stacklevel=3,
+        )
+        return {k: v for k, v in data.items() if k in known}
+    return data
 
 
 @dataclass
@@ -56,7 +83,7 @@ class TaskMetrics:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TaskMetrics":
-        return cls(**data)
+        return cls(**_known_fields(cls, data))
 
 
 @dataclass
@@ -256,11 +283,7 @@ class JobMetrics:
             data[task_field] = [
                 TaskMetrics.from_dict(t) for t in data.get(task_field, [])
             ]
-        known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(f"unknown JobMetrics fields: {sorted(unknown)}")
-        return cls(**data)
+        return cls(**_known_fields(cls, data))
 
 
 @dataclass
@@ -382,6 +405,7 @@ class RunMetrics:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RunMetrics":
+        data = _known_fields(cls, dict(data))
         return cls(
             algorithm=data["algorithm"],
             jobs=[JobMetrics.from_dict(j) for j in data.get("jobs", [])],

@@ -11,7 +11,12 @@ that post-hoc aggregates cannot show.  This package provides:
   (:mod:`repro.observability.schema`);
 * :class:`TraceAnalysis` — per-reducer load, attempt chains and
   straggler timelines reconstructed from a trace file
-  (:mod:`repro.observability.analyze`).
+  (:mod:`repro.observability.analyze`);
+* :class:`Telemetry` — a metrics registry (counters/gauges/histograms)
+  plus a logical-clock sampling collector with JSONL timeline and
+  Prometheus text exporters (:mod:`repro.observability.telemetry`);
+* :class:`TimelineAnalysis` — per-series analysis of a telemetry
+  timeline artifact (:mod:`repro.observability.timeline`).
 
 Attach a tracer to a :class:`~repro.mapreduce.ClusterConfig` and every
 job run on that cluster is traced::
@@ -27,7 +32,12 @@ or use the CLI: ``python -m repro cube data.tsv --trace run.trace.jsonl``
 then ``python -m repro analyze-trace run.trace.jsonl``.
 """
 
-from .analyze import TraceAnalysis, load_trace
+from .analyze import (
+    SUMMARY_SCHEMA,
+    TraceAnalysis,
+    load_trace,
+    summary_problems,
+)
 from .diagnostics import (
     BalanceStats,
     CuboidAudit,
@@ -41,6 +51,21 @@ from .diagnostics import (
     predicted_reducer_loads,
     run_doctor,
 )
+from .telemetry import (
+    DEFAULT_BUCKETS,
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    check_prometheus_text,
+    driver_rss_bytes,
+    emit_run_telemetry,
+    telemetry_of,
+)
+from .timeline import TimelineAnalysis, TimelineError
 from .schema import (
     EVENT_KINDS,
     SPAN_KINDS,
@@ -67,8 +92,10 @@ from .tracer import (
 )
 
 __all__ = [
+    "SUMMARY_SCHEMA",
     "TraceAnalysis",
     "load_trace",
+    "summary_problems",
     "BalanceStats",
     "CuboidAudit",
     "LoadAttribution",
@@ -100,4 +127,18 @@ __all__ = [
     "attempt_counters",
     "emit_run_span",
     "level_from_name",
+    "DEFAULT_BUCKETS",
+    "NULL_TELEMETRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTelemetry",
+    "Telemetry",
+    "check_prometheus_text",
+    "driver_rss_bytes",
+    "emit_run_telemetry",
+    "telemetry_of",
+    "TimelineAnalysis",
+    "TimelineError",
 ]

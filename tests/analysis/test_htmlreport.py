@@ -1,0 +1,114 @@
+"""The unified HTML run report builder."""
+
+import json
+
+import pytest
+
+from repro.analysis import build_report, write_report
+
+
+@pytest.fixture
+def doctor_json(tmp_path):
+    report = {
+        "healthy": False,
+        "problems": ["binomial(p=0.4): worst imbalance 3.1 over tolerance"],
+        "datasets": [
+            {
+                "name": "binomial(p=0.4)",
+                "params": {"generator": "binomial", "skew": 0.4},
+                "engines": {
+                    "spcube": {
+                        "total_seconds": 41.7,
+                        "reducer_balance": 1.4,
+                        "failed": False,
+                    },
+                    "hive": {
+                        "total_seconds": 90.0,
+                        "reducer_balance": 3.2,
+                        "failed": True,
+                    },
+                },
+                "audit": {
+                    "overall": {"f1": 0.93},
+                    "worst_imbalance": 3.1,
+                },
+            }
+        ],
+    }
+    path = tmp_path / "doctor.json"
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+@pytest.fixture
+def perf_json(tmp_path):
+    bench = {
+        "workload": {"dataset": "gen_binomial", "rows": 200000},
+        "serial_wall_seconds": 10.0,
+        "parallel_wall_seconds": 4.0,
+        "speedup": 2.5,
+        "cubes_identical": True,
+        "parallelism_sweep": [
+            {"workers": 1, "speedup_vs_serial": 1.0},
+            {"workers": 4, "speedup_vs_serial": 2.5},
+        ],
+        "telemetry": {"overhead_ratio": 1.02},
+    }
+    path = tmp_path / "perf.json"
+    path.write_text(json.dumps(bench))
+    return str(path)
+
+
+@pytest.fixture
+def recovery_json(tmp_path):
+    bench = {
+        "rows": 6000,
+        "points": [
+            {"engine": "SP-Cube", "pressure": 0.0, "slowdown": 1.0,
+             "failed": False},
+            {"engine": "SP-Cube", "pressure": 0.1, "slowdown": 1.8,
+             "failed": False},
+            {"engine": "Hive", "pressure": 0.1, "slowdown": 9.9,
+             "failed": True},
+        ],
+    }
+    path = tmp_path / "recovery.json"
+    path.write_text(json.dumps(bench))
+    return str(path)
+
+
+class TestBuildReport:
+    def test_all_sections_marked_missing_by_default(self):
+        html = build_report()
+        for label in ("Trace", "Telemetry", "Doctor audit",
+                      "Bench: parallel perf", "Bench: recovery cost"):
+            assert f"<h2>{label}</h2>" in html
+        assert html.count("not provided") == 5
+
+    def test_doctor_section_lists_problems_and_engines(self, doctor_json):
+        html = build_report(doctor=doctor_json)
+        assert "PROBLEMS" in html
+        assert "worst imbalance 3.1" in html
+        assert "spcube" in html and "hive" in html
+
+    def test_perf_section_reports_overhead_and_sweep(self, perf_json):
+        html = build_report(perf=perf_json)
+        assert "speedup 2.50" in html
+        assert "telemetry overhead: wall ratio 1.020" in html
+        assert "parallelism sweep" in html
+
+    def test_recovery_section_drops_failed_points(self, recovery_json):
+        html = build_report(recovery=recovery_json)
+        assert "SP-Cube" in html
+        # Hive's only point failed, so its curve must not render.
+        assert "Hive" not in html
+
+    def test_write_report_creates_file(self, tmp_path, perf_json):
+        out = tmp_path / "report.html"
+        assert write_report(out, perf=perf_json) == out
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_custom_title_is_escaped(self, perf_json):
+        html = build_report(perf=perf_json, title="<run> & report")
+        assert "&lt;run&gt; &amp; report" in html
+        assert "<title>&lt;run&gt; &amp; report</title>" in html

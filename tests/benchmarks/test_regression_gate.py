@@ -136,6 +136,67 @@ class TestPerfGate:
         assert gate_mod.compare_perf(baseline, fresh) == []
 
 
+class TestTelemetryBand:
+    def test_planted_overhead_blowup_fails(self):
+        """The acceptance case: a planted overhead blowup trips the band."""
+        baseline = perf_report(telemetry={"overhead_ratio": 1.02})
+        # Ceiling for 1.02x baseline: 1.02 * 1.15 + 0.05 = 1.223x.
+        fresh = perf_report(telemetry={"overhead_ratio": 1.5})
+        violations = gate_mod.compare_perf(baseline, fresh)
+        assert len(violations) == 1
+        assert "telemetry overhead" in violations[0]
+        assert "1.500x" in violations[0]
+
+    def test_ratio_within_band_passes(self):
+        baseline = perf_report(telemetry={"overhead_ratio": 1.02})
+        fresh = perf_report(telemetry={"overhead_ratio": 1.15})
+        assert gate_mod.compare_perf(baseline, fresh) == []
+
+    def test_old_baseline_without_telemetry_is_informational(self):
+        # Baselines written before the telemetry twin lack the key; the
+        # fresh ratio must print as a note, never fail the gate.
+        baseline = perf_report()
+        fresh = perf_report(telemetry={"overhead_ratio": 2.0})
+        notes = []
+        assert gate_mod.compare_perf(baseline, fresh, notes=notes) == []
+        assert any("telemetry" in note and "informational" in note
+                   for note in notes)
+
+    def test_fresh_without_telemetry_is_skipped(self):
+        baseline = perf_report(telemetry={"overhead_ratio": 1.02})
+        fresh = perf_report()
+        notes = []
+        assert gate_mod.compare_perf(baseline, fresh, notes=notes) == []
+        assert notes == []
+
+    def test_custom_tolerances(self):
+        baseline = perf_report(telemetry={"overhead_ratio": 1.0})
+        fresh = perf_report(telemetry={"overhead_ratio": 1.1})
+        tight = gate_mod.Tolerances(telemetry=0.01, telemetry_slack=0.0)
+        assert gate_mod.compare_perf(baseline, fresh, tight) != []
+        assert gate_mod.compare_perf(baseline, fresh) == []
+
+    def test_cli_telemetry_tolerance_flag(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(
+            perf_report(telemetry={"overhead_ratio": 1.0})
+        ))
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(
+            perf_report(telemetry={"overhead_ratio": 1.1})
+        ))
+        relaxed = gate_mod.main(
+            ["--perf-baseline", str(base), "--perf-fresh", str(fresh)]
+        )
+        assert relaxed == 0
+        tight = gate_mod.main(
+            ["--perf-baseline", str(base), "--perf-fresh", str(fresh),
+             "--telemetry-tolerance", "0.01", "--telemetry-slack", "0.0"]
+        )
+        assert tight == 1
+        assert "telemetry overhead" in capsys.readouterr().out
+
+
 class TestRecoveryGate:
     def test_identical_artifacts_pass(self):
         assert (

@@ -275,3 +275,78 @@ class TestDoctor:
     def test_doctor_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
             main(["doctor", "--rows", "100", "--engines", "spark"])
+
+
+class TestTelemetryCommands:
+    """--telemetry, metrics-export, analyze-trace --format json, report."""
+
+    def make_artifacts(self, tmp_path):
+        data = str(tmp_path / "data.tsv")
+        trace = str(tmp_path / "run.trace.jsonl")
+        timeline = str(tmp_path / "run.timeline.jsonl")
+        main(["generate", "binomial", "--rows", "300", "-o", data])
+        assert main(
+            ["cube", data, "--machines", "4", "--trace", trace,
+             "--telemetry", timeline]
+        ) == 0
+        return data, trace, timeline
+
+    def test_cube_writes_timeline(self, tmp_path, capsys):
+        import json
+
+        _data, _trace, timeline = self.make_artifacts(tmp_path)
+        assert "telemetry timeline written" in capsys.readouterr().out
+        lines = open(timeline).read().strip().splitlines()
+        types = [json.loads(line)["type"] for line in lines]
+        assert types[0] == "meta"
+        assert types[-1] == "registry"
+        assert "sample" in types
+
+    def test_metrics_export_prints_valid_exposition(self, tmp_path, capsys):
+        _data, _trace, timeline = self.make_artifacts(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics-export", timeline, "--check"]) == 0
+        captured = capsys.readouterr()
+        assert "format ok" in captured.err
+        assert "# TYPE repro_jobs_total counter" in captured.out
+        assert "repro_phase_seconds_bucket" in captured.out
+
+    def test_metrics_export_to_file(self, tmp_path, capsys):
+        _data, _trace, timeline = self.make_artifacts(tmp_path)
+        out = str(tmp_path / "metrics.prom")
+        assert main(["metrics-export", timeline, "-o", out]) == 0
+        assert "# HELP" in open(out).read()
+
+    def test_metrics_export_missing_file_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="error"):
+            main(["metrics-export", "/nonexistent/timeline.jsonl"])
+
+    def test_analyze_trace_json_format(self, tmp_path, capsys):
+        import json
+
+        _data, trace, _timeline = self.make_artifacts(tmp_path)
+        capsys.readouterr()
+        assert main(["analyze-trace", trace, "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema_version"] == 1
+        assert summary["dominant_job"] == "sp-cube"
+        assert summary["recovery"]["attempts"] > 0
+
+    def test_report_stitches_everything(self, tmp_path, capsys):
+        _data, trace, timeline = self.make_artifacts(tmp_path)
+        out = str(tmp_path / "report.html")
+        assert main(
+            ["report", "--trace", trace, "--telemetry", timeline,
+             "-o", out]
+        ) == 0
+        html = open(out).read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "per-reducer delivered records" in html
+        assert "<script" not in html  # self-contained, no JS
+        # Sections without inputs say so instead of vanishing.
+        assert "not provided" in html
+
+    def test_report_without_inputs_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="at least one input"):
+            main(["report", "-o", str(tmp_path / "r.html")])

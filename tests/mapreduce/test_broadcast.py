@@ -77,6 +77,43 @@ class TestBroadcast:
         assert (ra.value, rb.value) == ("alpha", "beta")
 
 
+class TestBroadcastStats:
+    """IPC counters feeding the telemetry layer."""
+
+    def setup_method(self):
+        from repro.mapreduce.broadcast import reset_broadcast_stats
+
+        reset_broadcast_stats()
+
+    def test_publish_and_cache_hit_counted(self):
+        from repro.mapreduce.broadcast import broadcast_stats
+
+        handle = Broadcast({"k": "v"})
+        pickle.dumps(handle)  # publish
+        restored = pickle.loads(pickle.dumps(handle))
+        _ = restored.value  # resolves via the pre-seeded driver cache
+        stats = broadcast_stats()
+        assert stats["publishes"] == 1
+        assert stats["cache_hits"] >= 1
+
+    def test_spill_load_counted_when_cache_is_cold(self):
+        from repro.mapreduce.broadcast import broadcast_stats
+
+        handle = Broadcast([1, 2, 3])
+        pickle.dumps(handle)
+        _CACHE.pop(handle._token, None)  # simulate a fresh worker
+        restored = pickle.loads(pickle.dumps(handle))
+        _ = restored.value
+        assert broadcast_stats()["spill_loads"] == 1
+
+    def test_stats_snapshot_is_a_copy(self):
+        from repro.mapreduce.broadcast import broadcast_stats
+
+        stats = broadcast_stats()
+        stats["publishes"] = 999
+        assert broadcast_stats()["publishes"] != 999
+
+
 class TestBatchSlices:
     def test_even_split(self):
         assert batch_slices(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]

@@ -216,12 +216,51 @@ class TestSerialization:
         assert restored == job
         assert isinstance(restored.map_tasks[0], TaskMetrics)
 
-    def test_job_rejects_unknown_fields(self):
+    def test_job_ignores_unknown_fields_with_warning(self):
+        # Forward compatibility: an artifact written by a newer version
+        # (extra fields) must keep loading — dropped with a warning, not
+        # a crash that bricks every archived BENCH/trace file.
         import pytest
 
-        data = JobMetrics(name="j").to_dict()
+        from repro.mapreduce.metrics import UnknownMetricsFieldWarning
+
+        data = JobMetrics(name="j", attempts=2).to_dict()
         data["bogus_field"] = 1
-        with pytest.raises(ValueError, match="bogus_field"):
+        with pytest.warns(UnknownMetricsFieldWarning, match="bogus_field"):
+            restored = JobMetrics.from_dict(data)
+        assert restored == JobMetrics(name="j", attempts=2)
+
+    def test_task_ignores_unknown_fields_with_warning(self):
+        import pytest
+
+        from repro.mapreduce.metrics import UnknownMetricsFieldWarning
+
+        data = TaskMetrics(machine=4, seconds=2.0).to_dict()
+        data["future_counter"] = 9
+        with pytest.warns(UnknownMetricsFieldWarning, match="future_counter"):
+            restored = TaskMetrics.from_dict(data)
+        assert restored == TaskMetrics(machine=4, seconds=2.0)
+
+    def test_run_ignores_unknown_fields_with_warning(self):
+        import pytest
+
+        from repro.mapreduce.metrics import UnknownMetricsFieldWarning
+
+        run = RunMetrics(algorithm="SP-Cube", output_groups=3)
+        data = run.to_dict()
+        data["telemetry_overhead"] = {"ratio": 1.01}
+        with pytest.warns(
+            UnknownMetricsFieldWarning, match="telemetry_overhead"
+        ):
+            restored = RunMetrics.from_dict(data)
+        assert restored == run
+
+    def test_known_fields_round_trip_without_warning(self):
+        import warnings
+
+        data = JobMetrics(name="clean").to_dict()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             JobMetrics.from_dict(data)
 
     def test_run_round_trip(self):

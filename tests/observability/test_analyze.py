@@ -142,3 +142,64 @@ class TestValidationAndIO:
         text = TraceAnalysis(faulted_records).format_summary()
         assert "4 attempts" in text
         assert "2 killed" in text
+
+
+class TestSummaryDict:
+    """The stable machine-readable summary (satellite of the telemetry
+    PR): append-only keys, self-validated before leaving the process."""
+
+    def test_has_every_schema_key(self, faulted_records):
+        from repro.observability import SUMMARY_SCHEMA
+
+        summary = TraceAnalysis(faulted_records).summary_dict()
+        assert set(SUMMARY_SCHEMA) <= set(summary)
+        assert summary["schema_version"] == 1
+
+    def test_numbers_match_the_accessors(self, faulted_records):
+        analysis = TraceAnalysis(faulted_records)
+        summary = analysis.summary_dict()
+        assert summary["recovery"] == analysis.recovery_summary()
+        assert summary["dominant_job"] == "j"
+        assert summary["reducer_loads"] == {"0": 8, "1": 5}
+        assert summary["jobs"][0]["attempts"] == 4
+
+    def test_is_json_serializable(self, faulted_records):
+        import json
+
+        payload = json.dumps(TraceAnalysis(faulted_records).summary_dict())
+        assert json.loads(payload)["schema_version"] == 1
+
+    def test_validator_accepts_extra_keys(self, faulted_records):
+        from repro.observability import summary_problems
+
+        summary = TraceAnalysis(faulted_records).summary_dict()
+        summary["future_field"] = {"anything": True}
+        assert summary_problems(summary) == []
+
+    def test_validator_flags_missing_and_mistyped_keys(self):
+        from repro.observability import summary_problems
+
+        assert summary_problems({"runs": "not-a-list"})
+        problems = summary_problems(
+            {
+                "schema_version": 1, "records": 0, "runs": [],
+                "recovery": {}, "failure_domains": {}, "jobs": [],
+                "dominant_job": None, "reducer_loads": {},
+                "critical_path": [],
+            }
+        )
+        assert any("recovery." in p for p in problems)
+        assert any("failure_domains" in p for p in problems)
+
+    def test_validator_flags_negative_counters(self, faulted_records):
+        from repro.observability import summary_problems
+
+        summary = TraceAnalysis(faulted_records).summary_dict()
+        summary["recovery"]["killed"] = -1
+        assert any("non-negative" in p for p in summary_problems(summary))
+
+    def test_empty_trace_summarizes(self):
+        summary = TraceAnalysis([]).summary_dict()
+        assert summary["runs"] == []
+        assert summary["dominant_job"] is None
+        assert summary["reducer_loads"] == {}

@@ -141,6 +141,50 @@ class TestProgressSink:
         assert "crash at j/map/3" in lines[1]
 
 
+class TestProgressSinkFaultDomainLines:
+    """Rendering of the failure-domain events (satellite of the
+    telemetry PR): node losses, checkpoint commits, round resumes."""
+
+    def render(self, kind, at, job, **payload):
+        stream = io.StringIO()
+        tracer = Tracer([ProgressSink(stream)], level=LEVEL_DEBUG)
+        tracer.event(kind, at=at, job=job, fields=payload)
+        return stream.getvalue().strip().splitlines()
+
+    def test_node_lost_line(self):
+        lines = self.render("node_lost", at=12.5, job="sp-cube", node=3)
+        assert lines == ["[fault] node 3 lost during sp-cube (t=12.5s)"]
+
+    def test_checkpoint_write_line(self):
+        lines = self.render(
+            "checkpoint_write", at=30.0, job="sp-cube",
+            round=1, num_parts=8, path="ckpt/round-1",
+        )
+        assert lines == [
+            "[ckpt ] round 1 checkpointed (8 parts, t=30.0s)"
+        ]
+
+    def test_round_resume_line(self):
+        lines = self.render(
+            "round_resume", at=44.25, job="sp-cube", round=2,
+            salvaged_partitions=[0, 1, 5], replaced_nodes=[3, 4],
+        )
+        assert lines == [
+            "[ckpt ] resuming round 2 (sp-cube): 3 partitions "
+            "salvaged, nodes [3, 4] replaced"
+        ]
+
+    def test_round_resume_without_salvage(self):
+        lines = self.render(
+            "round_resume", at=1.0, job="sp-cube", round=0,
+            salvaged_partitions=[], replaced_nodes=[],
+        )
+        assert lines == [
+            "[ckpt ] resuming round 0 (sp-cube): 0 partitions "
+            "salvaged, nodes [] replaced"
+        ]
+
+
 class TestAttemptCounters:
     def test_merges_user_counters(self):
         from repro.mapreduce import TaskMetrics
