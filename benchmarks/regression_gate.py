@@ -29,7 +29,11 @@ What is compared, and why the bands are where they are:
   (telemetry-on wall over telemetry-off wall, same serial workload) gets
   a tighter band — 15% plus 0.05 slack — because both halves of the twin
   run back-to-back in one process, so runner jitter largely cancels.
-  Baselines that predate the telemetry twin lack the key and are skipped
+  The lineage overhead ratio (flight recorder + watchdog on vs off, same
+  twin construction) gets the identical 15% + 0.05 band: the ratio runs
+  well above 1.0 by design (every shuffled key is classified to its
+  cuboid), so only drift against the committed value is a finding.
+  Baselines that predate either twin lack the key and are skipped
   (a fresh-only ratio prints as an informational note).
 * **Absolute wall-clock — only on identical workloads.**  Seconds are
   meaningless across different row counts, so serial wall time and output
@@ -184,23 +188,24 @@ def compare_perf(
     # before the telemetry twin existed lack the key; the band applies
     # only when both artifacts carry it, so old baselines never trip —
     # a fresh-only ratio is reported as an informational note instead.
-    base_ratio = baseline.get("telemetry", {}).get("overhead_ratio")
-    fresh_ratio = fresh.get("telemetry", {}).get("overhead_ratio")
-    if base_ratio is not None and fresh_ratio is not None:
-        ceiling = (
-            base_ratio * (1.0 + tolerances.telemetry)
-            + tolerances.telemetry_slack
-        )
-        if fresh_ratio > ceiling:
-            violations.append(
-                f"perf: telemetry overhead ratio {fresh_ratio:.3f}x "
-                f"exceeds {ceiling:.3f}x (baseline {base_ratio:.3f}x)"
+    for twin in ("telemetry", "lineage"):
+        base_ratio = baseline.get(twin, {}).get("overhead_ratio")
+        fresh_ratio = fresh.get(twin, {}).get("overhead_ratio")
+        if base_ratio is not None and fresh_ratio is not None:
+            ceiling = (
+                base_ratio * (1.0 + tolerances.telemetry)
+                + tolerances.telemetry_slack
             )
-    elif fresh_ratio is not None and notes is not None:
-        notes.append(
-            f"perf: telemetry overhead ratio {fresh_ratio:.3f}x is "
-            "informational (baseline predates the telemetry twin)"
-        )
+            if fresh_ratio > ceiling:
+                violations.append(
+                    f"perf: {twin} overhead ratio {fresh_ratio:.3f}x "
+                    f"exceeds {ceiling:.3f}x (baseline {base_ratio:.3f}x)"
+                )
+        elif fresh_ratio is not None and notes is not None:
+            notes.append(
+                f"perf: {twin} overhead ratio {fresh_ratio:.3f}x is "
+                f"informational (baseline predates the {twin} twin)"
+            )
     return violations
 
 

@@ -15,8 +15,15 @@ The telemetry layer's performance contract has two halves:
   accidentally makes the disabled path allocate shows up as a number,
   not a hunch.
 
-Importable (``measure_overhead`` / ``null_guard_floor``) so both the
-perf bench and CI reuse one measurement.
+The lineage layer (PR 9's flight recorder + watchdog) carries the same
+contract and gets the same twin: :func:`measure_lineage_overhead` runs
+the workload bare and then with a :class:`LineageRecorder` and
+:class:`Watchdog` attached — the most expensive observability
+configuration, since every shuffled key is classified to its cuboid.
+
+Importable (``measure_overhead`` / ``measure_lineage_overhead`` /
+``null_guard_floor``) so both the perf bench and CI reuse one
+measurement.
 """
 
 from __future__ import annotations
@@ -27,7 +34,12 @@ from typing import Dict
 from repro.analysis import paper_cluster
 from repro.core import SPCube
 from repro.datagen import gen_binomial
-from repro.observability import NULL_TELEMETRY, Telemetry
+from repro.observability import (
+    NULL_TELEMETRY,
+    LineageRecorder,
+    Telemetry,
+    Watchdog,
+)
 
 
 def _timed_compute(cluster, relation) -> float:
@@ -66,6 +78,38 @@ def measure_overhead(
     }
 
 
+def measure_lineage_overhead(
+    rows: int = 20_000, skew: float = 0.4, seed: int = 600,
+    repeats: int = 1,
+) -> Dict:
+    """Wall-clock twin: flight recorder + watchdog off vs on.
+
+    Returns the two times, the on/off ratio, and the flow/alert counts
+    the enabled recorder gathered (a ratio measured while recording
+    nothing is recognizable as meaningless).
+    """
+    relation = gen_binomial(rows, skew, seed=seed)
+    off_times, on_times = [], []
+    flows = alerts = 0
+    for _ in range(repeats):
+        off_times.append(_timed_compute(paper_cluster(rows), relation))
+        on_cluster = paper_cluster(rows)
+        on_cluster.lineage = LineageRecorder(run_id="overhead-twin")
+        on_cluster.watchdog = Watchdog()
+        on_times.append(_timed_compute(on_cluster, relation))
+        flows = sum(len(job["flows"]) for job in on_cluster.lineage.jobs)
+        alerts = len(on_cluster.watchdog.alerts)
+    off_wall, on_wall = min(off_times), min(on_times)
+    return {
+        "rows": rows,
+        "lineage_off_wall_seconds": round(off_wall, 4),
+        "lineage_on_wall_seconds": round(on_wall, 4),
+        "overhead_ratio": round(on_wall / off_wall if off_wall else 0.0, 4),
+        "flows_recorded": flows,
+        "alerts_emitted": alerts,
+    }
+
+
 def null_guard_floor(iterations: int = 200_000) -> Dict:
     """Nanoseconds per disabled-path check, vs an empty loop baseline.
 
@@ -100,6 +144,7 @@ if __name__ == "__main__":
 
     report = {
         "twin": measure_overhead(),
+        "lineage_twin": measure_lineage_overhead(),
         "null_floor": null_guard_floor(),
     }
     print(json.dumps(report, indent=2))

@@ -35,7 +35,7 @@ from repro.core import SPCube
 from repro.datagen import gen_binomial
 from repro.mapreduce import MapReduceJob, pair_bytes, stable_hash
 from repro.mapreduce.engine import _route_pairs
-from repro.observability import Telemetry
+from repro.observability import LineageRecorder, Telemetry, Watchdog
 
 from telemetry_overhead import null_guard_floor
 
@@ -220,6 +220,29 @@ def test_perf_wallclock():
         "null_floor": null_guard_floor(),
     }
 
+    # Lineage overhead twin: the serial run once more, with the shuffle
+    # flight recorder and watchdog attached — the most expensive
+    # observability configuration (every shuffled key is classified to
+    # its cuboid).  The wall ratio is banded by the regression gate like
+    # the telemetry ratio; it runs well above 1.0 by design, so only
+    # drift against the committed baseline is a finding.
+    lineage_cluster = paper_cluster(ROWS)
+    lineage_cluster.lineage = LineageRecorder(run_id="perf-bench")
+    lineage_cluster.watchdog = Watchdog()
+    lineage_run, lineage_wall, _ = _timed_run(lineage_cluster, relation)
+    assert lineage_run.cube == serial_run.cube  # observation-only
+    lineage_report = {
+        "lineage_off_wall_seconds": round(serial_wall, 3),
+        "lineage_on_wall_seconds": round(lineage_wall, 3),
+        "overhead_ratio": round(
+            lineage_wall / serial_wall if serial_wall > 0 else 0.0, 4
+        ),
+        "flows_recorded": sum(
+            len(job["flows"]) for job in lineage_cluster.lineage.jobs
+        ),
+        "alerts_emitted": len(lineage_cluster.watchdog.alerts),
+    }
+
     hot_path = _hot_path_micro()
     speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
     report = {
@@ -241,6 +264,7 @@ def test_perf_wallclock():
         "output_groups": serial_run.cube.num_groups,
         "hot_path": hot_path,
         "telemetry": telemetry_report,
+        "lineage": lineage_report,
     }
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\n{json.dumps(report, indent=2)}\n[written to {RESULT_PATH}]")
@@ -255,6 +279,10 @@ def test_perf_wallclock():
     # (shared runners jitter more than the telemetry budget).
     assert telemetry_report["samples_collected"] > 0
     assert telemetry_report["null_floor"]["guard_ns_per_check"] < 1000
+
+    # Same shape for the flight recorder: it must actually have recorded
+    # flows; its wall ratio is banded by the regression gate.
+    assert lineage_report["flows_recorded"] > 0
 
     # Parallel speedup needs cores to show up on; gate accordingly.
     if cpus >= 4 and PARALLELISM >= 4:

@@ -273,6 +273,97 @@ def _telemetry_section(timeline_path) -> str:
     return "\n".join(parts)
 
 
+# -- lineage section ----------------------------------------------------------
+
+
+def _lineage_section(lineage_path) -> str:
+    if lineage_path is None:
+        return _missing("lineage artifact")
+    from ..observability import LineageIndex, explain_reducer
+
+    index = LineageIndex.from_file(lineage_path)
+    parts: List[str] = [
+        f"<p>run <code>{_esc(index.run_id)}</code>: "
+        f"{len(index.jobs)} job execution(s), "
+        f"{sum(len(f) for f in index.flows.values())} flow edges, "
+        f"{len(index.alerts)} watchdog alert(s).</p>"
+    ]
+
+    job_rows = []
+    for (name, execution), job in sorted(index.jobs.items()):
+        flows = index.flows.get((name, execution), [])
+        job_rows.append(
+            [
+                _esc(name),
+                execution,
+                job["num_reducers"],
+                len(flows),
+                f"{sum(f['records'] for f in flows):,}",
+                f"{sum(f['bytes'] for f in flows):,}",
+                _status_html(not job["aborted"], "ok", "aborted"),
+            ]
+        )
+    if job_rows:
+        parts.append(
+            _table(
+                ["job", "execution", "reducers", "flow edges", "records",
+                 "bytes", "status"],
+                job_rows,
+            )
+        )
+
+    if index.alerts:
+        alert_rows = []
+        for alert in index.alerts:
+            where = ", ".join(
+                f"{key}={alert[key]}"
+                for key in ("reducer", "cuboid", "phase", "task")
+                if key in alert
+            )
+            alert_rows.append(
+                [
+                    _esc(alert["kind"]),
+                    _esc(alert["job"]),
+                    _esc(where),
+                    _esc(alert.get("observed", alert.get("seconds", ""))),
+                    _esc(alert.get("ratio", "")),
+                    f"{alert['at']:.1f}",
+                ]
+            )
+        parts.append("<h3>watchdog alerts</h3>")
+        parts.append(
+            _table(
+                ["kind", "job", "where", "observed", "ratio", "at (s)"],
+                alert_rows,
+                name_cols=3,
+            )
+        )
+
+    # The hottest reducer of the dominant job, pre-explained: the page
+    # answers "why is it hot" without a second command.
+    try:
+        explained = explain_reducer(index)
+    except ValueError:
+        explained = None
+    if explained is not None:
+        parts.append(
+            f"<h3>hottest reducer: r{explained['reducer']} of "
+            f"<code>{_esc(explained['job'])}</code></h3>"
+        )
+        parts.append(
+            f"<p>{explained['records']:,} records "
+            f"({100 * explained['share']:.1f}% of the job's shuffle) "
+            f"from {len(explained['map_tasks'])} map task(s).</p>"
+        )
+        cuboid_rows = [
+            [f"{int(mask):#x}", f"{count:,}"]
+            for mask, count in explained["by_cuboid"].items()
+        ]
+        if cuboid_rows:
+            parts.append(_table(["cuboid", "records"], cuboid_rows))
+    return "\n".join(parts)
+
+
 # -- doctor section -----------------------------------------------------------
 
 
@@ -389,6 +480,7 @@ def _recovery_section(recovery_path) -> str:
 def build_report(
     trace=None,
     telemetry=None,
+    lineage=None,
     doctor=None,
     perf=None,
     recovery=None,
@@ -398,6 +490,7 @@ def build_report(
     sections = (
         ("Trace", _trace_section, trace),
         ("Telemetry", _telemetry_section, telemetry),
+        ("Lineage & alerts", _lineage_section, lineage),
         ("Doctor audit", _doctor_section, doctor),
         ("Bench: parallel perf", _perf_section, perf),
         ("Bench: recovery cost", _recovery_section, recovery),

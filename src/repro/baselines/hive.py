@@ -50,6 +50,7 @@ from ..mapreduce.engine import (
     TaskFactory,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.lineage import cuboid_of_mask_key
 from ..observability.telemetry import emit_run_telemetry
 from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import all_cuboids, full_mask, projector
@@ -109,6 +110,7 @@ class HiveCube:
                 self.map_side_aggregation,
             ),
             reducer_factory=TaskFactory(_HiveReducer, aggregate),
+            cuboid_of=cuboid_of_mask_key,
         )
         metrics = RunMetrics(algorithm=self.name)
         runner = RoundRunner(self.cluster, metrics, run_id="hive")

@@ -41,6 +41,7 @@ from ..mapreduce.engine import (
     TaskFactory,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.lineage import cuboid_of_mask_key
 from ..observability.telemetry import emit_run_telemetry
 from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import all_cuboids, project, projector
@@ -181,6 +182,7 @@ class MRCube:
                 _MaterializeReducer, aggregate, shard_plan
             ),
             combiner=_MergeCombiner(aggregate),
+            cuboid_of=cuboid_of_mask_key,
         )
         result = runner.run(job, relation.split(k), m)
 
@@ -208,6 +210,7 @@ class MRCube:
             name="mrcube-postagg",
             mapper_factory=TaskFactory(_IdentityMapper),
             reducer_factory=TaskFactory(_FinalizeReducer, aggregate),
+            cuboid_of=cuboid_of_mask_key,
         )
         chunks = _spread(shard_pairs, k)
         result = runner.run(job, chunks, m)

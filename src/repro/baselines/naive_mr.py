@@ -34,6 +34,7 @@ from ..mapreduce.engine import (
     TaskFactory,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.lineage import cuboid_of_mask_key
 from ..observability.telemetry import emit_run_telemetry
 from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import all_cuboids, projector
@@ -74,6 +75,7 @@ class NaiveCube:
             mapper_factory=TaskFactory(_NaiveMapper, d),
             reducer_factory=TaskFactory(_NaiveReducer, aggregate),
             combiner=combiner,
+            cuboid_of=cuboid_of_mask_key,
         )
         metrics = RunMetrics(algorithm=self.name)
         runner = RoundRunner(self.cluster, metrics, run_id="naive")

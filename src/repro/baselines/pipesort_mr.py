@@ -30,6 +30,7 @@ from ..mapreduce.engine import (
     TaskFactory,
 )
 from ..mapreduce.metrics import RunMetrics
+from ..observability.lineage import cuboid_of_mask_key
 from ..observability.telemetry import emit_run_telemetry
 from ..observability.tracer import NULL_TRACER, emit_run_span
 from ..relation.lattice import full_mask, mask_size, project
@@ -69,6 +70,7 @@ class PipeSortMR:
             name="pipesort-level-%d" % d,
             mapper_factory=TaskFactory(_BaseMapper, d, aggregate),
             reducer_factory=TaskFactory(_MergeReducer, aggregate),
+            cuboid_of=cuboid_of_mask_key,
         )
         result = runner.run(job, relation.split(k), m)
         if result.metrics.aborted:
@@ -93,6 +95,7 @@ class PipeSortMR:
                 name="pipesort-level-%d" % level,
                 mapper_factory=TaskFactory(_DeriveMapper, children_of, d),
                 reducer_factory=TaskFactory(_MergeReducer, aggregate),
+                cuboid_of=cuboid_of_mask_key,
             )
             result = runner.run(job, _spread(parents, k), m)
             if result.metrics.aborted:

@@ -10,6 +10,10 @@ Commands
 ``doctor``         audit sketch accuracy & load balance vs ground truth
 ``metrics-export`` render a telemetry timeline as Prometheus text
 ``report``         stitch run artifacts into one self-contained HTML page
+``explain-reducer`` walk a lineage artifact from a reducer back to
+                   cuboids, map tasks and input splits
+``explain-group``  walk a lineage artifact from a cuboid forward to the
+                   reducers and map tasks that carried it
 
 Examples::
 
@@ -23,8 +27,12 @@ Examples::
     python -m repro doctor --rows 4000 --machines 8 --json report.json
     python -m repro cube data.tsv --telemetry run.timeline.jsonl
     python -m repro metrics-export run.timeline.jsonl --check
+    python -m repro cube data.tsv --lineage run.lineage.jsonl --watchdog
+    python -m repro explain-reducer run.lineage.jsonl
+    python -m repro explain-group run.lineage.jsonl --cuboid 0xF
     python -m repro report --trace run.trace.jsonl \
-        --telemetry run.timeline.jsonl -o report.html
+        --telemetry run.timeline.jsonl --lineage run.lineage.jsonl \
+        -o report.html
 
 The ``cube`` and ``compare`` commands take fault-injection knobs
 (``--fault-seed``, ``--crash-prob``, ``--straggle-prob``,
@@ -37,8 +45,11 @@ tasks out across worker processes — results are bit-identical to serial.
 Both also take observability knobs: ``--trace PATH`` writes a structured
 JSONL trace of the run (``--trace-level`` picks the detail),
 ``--telemetry PATH`` writes a metrics timeline (inspect with
-``metrics-export`` or fold into ``report``), and ``--progress`` prints
-live per-job/fault lines to stderr; see :mod:`repro.observability`.
+``metrics-export`` or fold into ``report``), ``--lineage PATH`` writes
+the shuffle flight-recorder artifact (walk with ``explain-reducer`` /
+``explain-group``), ``--watchdog`` turns on online skew/misannotation/
+straggler alerts, and ``--progress`` prints live per-job/fault lines to
+stderr; see :mod:`repro.observability`.
 """
 
 from __future__ import annotations
@@ -62,7 +73,10 @@ from .datagen import (
     wikipedia_traffic,
 )
 from .observability import (
+    ExplainError,
     JsonlSink,
+    LineageIndex,
+    LineageRecorder,
     ProgressSink,
     Telemetry,
     TimelineAnalysis,
@@ -70,7 +84,12 @@ from .observability import (
     TraceAnalysis,
     TraceSchemaError,
     Tracer,
+    Watchdog,
     check_prometheus_text,
+    explain_group,
+    explain_reducer,
+    format_explain_markdown,
+    parse_cuboid,
 )
 from .relation import format_cuboid, format_group
 
@@ -116,7 +135,7 @@ def _cluster_from_args(args, num_rows: int):
                 node_crash_prob=args.node_crash_prob,
             )
         retry_policy = RetryPolicy(max_attempts=args.max_task_attempts)
-        return paper_cluster(
+        cluster = paper_cluster(
             num_rows,
             num_machines=args.machines,
             fault_plan=fault_plan,
@@ -125,6 +144,9 @@ def _cluster_from_args(args, num_rows: int):
             num_nodes=args.num_nodes,
             checkpoint=args.checkpoint,
         )
+        if args.memory_records is not None:
+            cluster = cluster.with_memory(args.memory_records)
+        return cluster
     except ValueError as error:
         raise SystemExit(f"repro: error: {error}") from None
 
@@ -166,6 +188,47 @@ def _finish_telemetry(cluster, args) -> None:
     )
 
 
+def _lineage_from_args(args, run_id: str):
+    """Build the run's flight recorder from ``--lineage`` (or None)."""
+    if not args.lineage:
+        return None
+    return LineageRecorder(run_id=run_id)
+
+
+def _watchdog_from_args(args):
+    """Build the run's watchdog from ``--watchdog`` (or None)."""
+    if not args.watchdog:
+        return None
+    try:
+        return Watchdog(skew_tolerance=args.watchdog_tolerance)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+
+
+def _finish_lineage(cluster, args) -> None:
+    """Write the lineage artifact and summarize alerts, if either was on."""
+    lineage = getattr(cluster, "lineage", None)
+    if lineage is not None:
+        lineage.write(args.lineage)
+        print(
+            f"lineage written to {args.lineage} "
+            f"({len(lineage.jobs)} job(s), {len(lineage.alerts)} alert(s); "
+            f"inspect with 'repro explain-reducer {args.lineage}')"
+        )
+    watchdog = getattr(cluster, "watchdog", None)
+    if watchdog is not None:
+        counts: Dict[str, int] = {}
+        for alert in watchdog.alerts:
+            counts[alert["kind"]] = counts.get(alert["kind"], 0) + 1
+        if counts:
+            summary = ", ".join(
+                f"{count} {kind}" for kind, count in sorted(counts.items())
+            )
+            print(f"watchdog:        {summary}")
+        else:
+            print("watchdog:        no alerts")
+
+
 def _print_survival(metrics) -> None:
     """One line on how the framework kept the run alive under faults."""
     print(
@@ -192,6 +255,8 @@ def cmd_cube(args) -> int:
     cluster = _cluster_from_args(args, len(relation))
     cluster.tracer = _tracer_from_args(args)
     cluster.telemetry = _telemetry_from_args(args, run_id=args.engine)
+    cluster.lineage = _lineage_from_args(args, run_id=args.engine)
+    cluster.watchdog = _watchdog_from_args(args)
     engine_cls = ENGINES[args.engine]
     engine = engine_cls(cluster, get_aggregate(args.aggregate))
     try:
@@ -202,6 +267,7 @@ def cmd_cube(args) -> int:
     if args.trace:
         print(f"trace written to {args.trace}")
     _finish_telemetry(cluster, args)
+    _finish_lineage(cluster, args)
 
     if args.output:
         lines = repro_io.write_cube(run.cube, args.output)
@@ -223,6 +289,8 @@ def cmd_compare(args) -> int:
     cluster = _cluster_from_args(args, len(relation))
     cluster.tracer = _tracer_from_args(args)
     cluster.telemetry = _telemetry_from_args(args, run_id=args.dataset)
+    cluster.lineage = _lineage_from_args(args, run_id=args.dataset)
+    cluster.watchdog = _watchdog_from_args(args)
     engines = {
         name: ENGINES[name](cluster, get_aggregate(args.aggregate))
         for name in args.engines
@@ -235,6 +303,7 @@ def cmd_compare(args) -> int:
     if args.trace:
         print(f"trace written to {args.trace}\n")
     _finish_telemetry(cluster, args)
+    _finish_lineage(cluster, args)
 
     with_faults = args.fault_seed is not None
     header = f"{'engine':12s}{'time(s)':>10s}{'traffic(MB)':>13s}{'status':>10s}"
@@ -351,8 +420,13 @@ def cmd_metrics_export(args) -> int:
     return 0
 
 
-def _serve_metrics(text: str, port: int) -> None:
-    """Serve the exposition at ``/metrics`` until interrupted."""
+def build_metrics_server(text: str, port: int):
+    """A bound HTTP server exposing ``text`` at ``/metrics``.
+
+    Split out of :func:`_serve_metrics` so tests can bind port 0, issue
+    a request against ``server.server_port`` and shut the server down
+    without involving a terminal; the caller owns ``server_close()``.
+    """
     from http.server import BaseHTTPRequestHandler, HTTPServer
 
     payload = text.encode("utf-8")
@@ -373,7 +447,12 @@ def _serve_metrics(text: str, port: int) -> None:
         def log_message(self, *_args):
             pass
 
-    server = HTTPServer(("127.0.0.1", port), Handler)
+    return HTTPServer(("127.0.0.1", port), Handler)
+
+
+def _serve_metrics(text: str, port: int) -> None:
+    """Serve the exposition at ``/metrics`` until interrupted."""
+    server = build_metrics_server(text, port)
     print(
         f"serving /metrics on http://127.0.0.1:{server.server_port} "
         "(Ctrl-C to stop)",
@@ -387,22 +466,54 @@ def _serve_metrics(text: str, port: int) -> None:
         server.server_close()
 
 
+def _explain_common(args, result) -> int:
+    """Shared output path of the two explain commands."""
+    if args.format == "json":
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(format_explain_markdown(result), end="")
+    return 0
+
+
+def cmd_explain_reducer(args) -> int:
+    try:
+        index = LineageIndex.from_file(args.lineage_file)
+        result = explain_reducer(index, job=args.job, reducer=args.reducer)
+    except (OSError, ExplainError, ValueError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    return _explain_common(args, result)
+
+
+def cmd_explain_group(args) -> int:
+    try:
+        cuboid = parse_cuboid(args.cuboid)
+        index = LineageIndex.from_file(args.lineage_file)
+        result = explain_group(index, cuboid, job=args.job)
+    except (OSError, ExplainError, ValueError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    return _explain_common(args, result)
+
+
 def cmd_report(args) -> int:
     from .analysis.htmlreport import write_report
 
     if not any(
-        (args.trace, args.telemetry, args.doctor_json,
+        (args.trace, args.telemetry, args.lineage, args.doctor_json,
          args.perf_json, args.recovery_json)
     ):
         raise SystemExit(
             "repro: error: report needs at least one input artifact "
-            "(--trace/--telemetry/--doctor-json/--perf-json/--recovery-json)"
+            "(--trace/--telemetry/--lineage/--doctor-json/--perf-json/"
+            "--recovery-json)"
         )
     try:
         write_report(
             args.output,
             trace=args.trace,
             telemetry=args.telemetry,
+            lineage=args.lineage,
             doctor=args.doctor_json,
             perf=args.perf_json,
             recovery=args.recovery_json,
@@ -474,6 +585,24 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
         help="minimum logical seconds between kept samples of one series "
              "(0 keeps everything; downsampling is deterministic)",
     )
+    group.add_argument(
+        "--lineage", metavar="PATH", default=None,
+        help="record per-(map task, reducer, cuboid) shuffle flows and "
+             "write the lineage artifact (walk with 'repro "
+             "explain-reducer PATH' / 'repro explain-group PATH')",
+    )
+    group.add_argument(
+        "--watchdog", action="store_true",
+        help="compare observed reducer loads against the sketch-predicted "
+             "n/k + m band while the run executes; alerts surface on "
+             "stderr (--progress), in the trace and in the lineage "
+             "artifact",
+    )
+    group.add_argument(
+        "--watchdog-tolerance", type=float, default=2.0, metavar="X",
+        help="multiple of the n/k + m band a reducer (or one cuboid's "
+             "flow into it) may reach before a watchdog alert fires",
+    )
 
 
 def _add_execution_args(parser: argparse.ArgumentParser) -> None:
@@ -483,6 +612,12 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
         help="worker processes running map/reduce tasks concurrently "
              "(default: REPRO_PARALLELISM env var, else serial); "
              "results are bit-identical to a serial run",
+    )
+    parser.add_argument(
+        "--memory-records", type=int, default=None, metavar="M",
+        help="pin the per-machine memory budget m in records instead of "
+             "the calibrated n/(4k) default; m is the skew threshold and "
+             "the n/k + m load band the doctor and watchdog check against",
     )
 
 
@@ -625,6 +760,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics_export.set_defaults(fn=cmd_metrics_export)
 
+    explain_reducer_p = sub.add_parser(
+        "explain-reducer",
+        help="walk a lineage artifact from one reducer back to the "
+             "cuboids, map tasks and input splits that loaded it "
+             "(defaults to the hottest reducer of the dominant job)",
+    )
+    explain_reducer_p.add_argument("lineage_file")
+    explain_reducer_p.add_argument(
+        "--job", default=None,
+        help="job to explain (default: the job shuffling the most records)",
+    )
+    explain_reducer_p.add_argument(
+        "--reducer", type=int, default=None, metavar="R",
+        help="reducer partition id (default: the hottest one)",
+    )
+    explain_reducer_p.add_argument(
+        "--format", choices=["markdown", "json"], default="markdown",
+    )
+    explain_reducer_p.set_defaults(fn=cmd_explain_reducer)
+
+    explain_group_p = sub.add_parser(
+        "explain-group",
+        help="walk a lineage artifact from one cuboid forward to the "
+             "reducers and map tasks that carried its groups",
+    )
+    explain_group_p.add_argument("lineage_file")
+    explain_group_p.add_argument(
+        "--cuboid", required=True, metavar="MASK",
+        help="cuboid lattice mask (decimal, 0x hex or 0b binary)",
+    )
+    explain_group_p.add_argument(
+        "--job", default=None,
+        help="job to explain (default: the job shuffling the most records)",
+    )
+    explain_group_p.add_argument(
+        "--format", choices=["markdown", "json"], default="markdown",
+    )
+    explain_group_p.set_defaults(fn=cmd_explain_group)
+
     report = sub.add_parser(
         "report",
         help="stitch a run's artifacts (trace, telemetry timeline, doctor "
@@ -634,6 +808,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSONL trace written with --trace")
     report.add_argument("--telemetry", metavar="PATH",
                         help="JSONL timeline written with --telemetry")
+    report.add_argument("--lineage", metavar="PATH",
+                        help="JSONL lineage artifact written with --lineage")
     report.add_argument("--doctor-json", metavar="PATH",
                         help="doctor report written with 'doctor --json'")
     report.add_argument("--perf-json", metavar="PATH",

@@ -69,6 +69,15 @@ from .sketch import SPSketch, build_exact_sketch, build_sketch_from_sample
 _SKEW_TAG = "S"
 _GROUP_TAG = "G"
 
+
+def _spcube_cuboid_of(key):
+    """Cuboid (lattice mask) of a round-2 ``(tag, mask, values)`` key.
+
+    Both streams carry the mask second; module-level so the lineage
+    layer's flow classification survives the pickle to worker processes.
+    """
+    return key[1]
+
 #: DFS path under which round 1 publishes the sketch.
 SKETCH_PATH = "spcube/sketch"
 
@@ -277,7 +286,26 @@ class SPCube:
             ),
             num_reducers=k + 1,
             partitioner=partitioner,
+            cuboid_of=_spcube_cuboid_of,
         )
+        watchdog = self.cluster.watchdog
+        if (
+            watchdog is not None
+            and watchdog.enabled
+            and self.range_partitioning
+        ):
+            # Register the sketch's promise so the watchdog can hold
+            # round 2 to it.  Hash-routed ablations skip this: the
+            # prediction replays range routing, which no longer matches.
+            from ..observability.diagnostics import predicted_reducer_loads
+
+            attribution = predicted_reducer_loads(
+                relation, sketch, num_mappers=k
+            )
+            watchdog.expect(
+                "sp-cube", n=len(relation), k=k, m=m,
+                predicted=attribution.predicted,
+            )
         result = runner.run(job, relation.split(k), m)
         if result.metrics.aborted:
             return CubeResult(relation.schema)

@@ -82,12 +82,14 @@ from typing import (
     Tuple,
 )
 
+from ..observability.lineage import NULL_LINEAGE
 from ..observability.telemetry import NULL_TELEMETRY, SECONDS_BUCKETS
 from ..observability.tracer import (
     LEVEL_DEBUG,
     LEVEL_TASK,
     NULL_TRACER,
 )
+from ..observability.watchdog import NULL_WATCHDOG
 from .cluster import ClusterConfig
 from .costmodel import CostModel
 from .executor import SerialExecutor, TaskOutcome, run_task_chain
@@ -314,6 +316,12 @@ class MapReduceJob:
     #: list).  Such side channels do not survive a process boundary, so
     #: the engine always runs these rounds on the serial executor.
     driver_state: bool = False
+    #: Classifier mapping one *map emission key* to the cuboid (lattice
+    #: mask) it belongs to, used by the shuffle flight recorder to break
+    #: each flow edge down per cuboid.  Must be a module-level function
+    #: (parallel workers pickle the job) and a pure function of the key.
+    #: ``None`` for rounds whose keys carry no cuboid (sampling rounds).
+    cuboid_of: Optional[Callable[[object], int]] = None
 
     @classmethod
     def from_functions(
@@ -877,6 +885,28 @@ def _run_job(
     # when tracing is on, and sample times must not depend on whether a
     # trace sink happens to be attached.
     telem_base = telemetry.clock
+    lineage = cluster.lineage or NULL_LINEAGE
+    watchdog = cluster.watchdog or NULL_WATCHDOG
+    # One flow record per job feeds both the flight recorder and the
+    # watchdog; built from the driver-side merge loops (task-index
+    # order), so it is bit-identical across execution backends.
+    flow_job: Optional[Dict] = None
+    if lineage.enabled or watchdog.enabled:
+        flow_job = {
+            "job": job.name,
+            "num_reducers": num_reducers,
+            "map_tasks": len(input_chunks),
+            "memory_records": memory_records,
+            "completed_reducers": (
+                sorted(completed_reducers) if completed_reducers else []
+            ),
+            "maps": [],
+            "flows": [],
+            "reduces": [],
+        }
+        if lineage.enabled:
+            lineage.begin_job(flow_job)
+    cuboid_cache: Dict[object, Optional[int]] = {}
 
     # Node kills landing in this round's window, as job-relative times.
     # A pure function of (plan, job name, run clock), so serial and
@@ -934,6 +964,17 @@ def _run_job(
         for target, pairs, shard_bytes in outcome.payload:
             reducer_buckets[target].extend(pairs)
             reducer_bytes[target] += shard_bytes
+        if flow_job is not None:
+            _record_flows(
+                flow_job, machine, outcome.payload, job.cuboid_of,
+                cuboid_cache,
+            )
+            flow_job["maps"].append({
+                "task": machine,
+                "records_in": task.records_in,
+                "records_out": task.records_out,
+                "seconds": round(task.seconds, 9),
+            })
         if trace_debug:
             _emit_route_event(
                 tracer, job.name, machine, outcome.payload,
@@ -958,6 +999,11 @@ def _run_job(
         )
         if trace_on:
             _finish_job_trace(tracer, job.name, metrics, job_base)
+        if flow_job is not None:
+            _finish_flow_job(
+                flow_job, metrics, lineage, watchdog, tracer, telemetry,
+                job_base,
+            )
         if telem_on:
             _sample_job_telemetry(
                 telemetry, job, metrics, telem_base, executor
@@ -1042,6 +1088,13 @@ def _run_job(
                 fields={"records": task.spilled_records},
             )
         metrics.reduce_tasks.append(task)
+        if flow_job is not None:
+            flow_job["reduces"].append({
+                "task": machine,
+                "records_in": task.records_in,
+                "records_out": task.records_out,
+                "seconds": round(task.seconds, 9),
+            })
         merged_outputs[machine] = reducer_output
 
     metrics.reduce_phase_seconds = cost.round_startup_seconds + max(
@@ -1060,6 +1113,11 @@ def _run_job(
     if trace_on:
         _emit_phase_span(tracer, job.name, "reduce", reduce_base, metrics)
         _finish_job_trace(tracer, job.name, metrics, job_base)
+    if flow_job is not None:
+        _finish_flow_job(
+            flow_job, metrics, lineage, watchdog, tracer, telemetry,
+            job_base,
+        )
     if telem_on:
         _sample_job_telemetry(telemetry, job, metrics, telem_base, executor)
         telemetry.advance(metrics.total_seconds)
@@ -1078,6 +1136,97 @@ def _run_job(
         metrics=metrics,
         reducer_outputs=[merged_outputs[m] for m in range(num_reducers)],
     )
+
+
+def _record_flows(
+    flow_job: Dict,
+    machine: int,
+    payload,
+    cuboid_of: Optional[Callable],
+    cuboid_cache: Dict,
+) -> None:
+    """Record one map task's shuffle edges into the job's flow record.
+
+    One flow per ``(map task, reducer)`` pair, in the shard order
+    :func:`_route_pairs` produced (first-seen target order) — the same
+    deterministic order the merge loop consumes, so lineage artifacts
+    are bit-identical across execution backends.  The cuboid breakdown
+    is classified through a per-job equality-keyed cache: emission keys
+    repeat heavily (and the hot engines intern them), so the common case
+    is one dict probe per pair.
+    """
+    flows = flow_job["flows"]
+    cache_get = cuboid_cache.get
+    for target, pairs, shard_bytes in payload:
+        cuboids: Dict[int, int] = {}
+        if cuboid_of is not None:
+            for key, _value in pairs:
+                mask = cache_get(key)
+                if mask is None:
+                    mask = cuboid_of(key)
+                    cuboid_cache[key] = mask
+                cuboids[mask] = cuboids.get(mask, 0) + 1
+        flows.append({
+            "map_task": machine,
+            "reducer": target,
+            "records": len(pairs),
+            "bytes": shard_bytes,
+            "cuboids": cuboids,
+        })
+
+
+def _finish_flow_job(
+    flow_job: Dict,
+    metrics: JobMetrics,
+    lineage,
+    watchdog,
+    tracer,
+    telemetry,
+    job_base: float,
+) -> None:
+    """Close out a job's flow record: collect it, inspect it, surface it.
+
+    The lineage recorder keeps the record and advances its own clock;
+    the watchdog inspects the flows and its alerts fan out to the trace
+    (typed events → ProgressSink lines), the telemetry alert counter,
+    and the lineage artifact's alert stream.
+    """
+    lin_on = lineage.enabled
+    job_end = job_base + metrics.total_seconds
+    if lin_on:
+        lineage.finish_job(flow_job, metrics)
+        lineage.advance(metrics.total_seconds)
+        if tracer.enabled:
+            flows = flow_job["flows"]
+            tracer.event(
+                "lineage", at=job_end, job=flow_job["job"],
+                fields={
+                    "execution": flow_job.get("execution", 0),
+                    "flows": len(flows),
+                    "records": sum(flow["records"] for flow in flows),
+                    "bytes": sum(flow["bytes"] for flow in flows),
+                },
+            )
+    if watchdog.enabled:
+        alerts = watchdog.inspect_job(flow_job, metrics)
+        watchdog.advance(metrics.total_seconds)
+        for alert in alerts:
+            if lin_on:
+                lineage.alerts.append(alert)
+            if tracer.enabled:
+                fields = {
+                    name: value for name, value in alert.items()
+                    if name not in ("type", "kind", "job", "at")
+                }
+                tracer.event(
+                    alert["kind"], at=job_end, job=alert["job"],
+                    fields=fields,
+                )
+            if telemetry.enabled:
+                telemetry.counter(
+                    "repro_watchdog_alerts_total",
+                    "Watchdog alerts emitted, by kind",
+                ).inc(labels={"kind": alert["kind"]})
 
 
 def _record_node_losses(

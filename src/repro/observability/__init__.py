@@ -16,7 +16,14 @@ that post-hoc aggregates cannot show.  This package provides:
   plus a logical-clock sampling collector with JSONL timeline and
   Prometheus text exporters (:mod:`repro.observability.telemetry`);
 * :class:`TimelineAnalysis` — per-series analysis of a telemetry
-  timeline artifact (:mod:`repro.observability.timeline`).
+  timeline artifact (:mod:`repro.observability.timeline`);
+* :class:`LineageRecorder` — the shuffle flight recorder capturing one
+  flow edge per (map task, reducer) pair, the artifact the
+  ``explain-group`` / ``explain-reducer`` queries walk
+  (:mod:`repro.observability.lineage` / ``.explain``);
+* :class:`Watchdog` — online skew / misannotation / straggler alerts
+  comparing observed flows against the sketch's ``n/k + m`` promise
+  (:mod:`repro.observability.watchdog`).
 
 Attach a tracer to a :class:`~repro.mapreduce.ClusterConfig` and every
 job run on that cluster is traced::
@@ -51,6 +58,24 @@ from .diagnostics import (
     predicted_reducer_loads,
     run_doctor,
 )
+from .explain import (
+    ExplainError,
+    LineageIndex,
+    explain_group,
+    explain_reducer,
+    format_explain_markdown,
+    parse_cuboid,
+)
+from .lineage import (
+    LINEAGE_RECORD_TYPES,
+    LINEAGE_VERSION,
+    NULL_LINEAGE,
+    LineageRecorder,
+    NullLineage,
+    cuboid_of_mask_key,
+    lineage_of,
+    load_lineage,
+)
 from .telemetry import (
     DEFAULT_BUCKETS,
     NULL_TELEMETRY,
@@ -66,6 +91,16 @@ from .telemetry import (
     telemetry_of,
 )
 from .timeline import TimelineAnalysis, TimelineError
+from .watchdog import (
+    ALERT_KINDS,
+    NULL_WATCHDOG,
+    SKEW_TOLERANCE,
+    STRAGGLER_FACTOR,
+    NullWatchdog,
+    Watchdog,
+    WatchdogExpectation,
+    watchdog_of,
+)
 from .schema import (
     EVENT_KINDS,
     SPAN_KINDS,
@@ -141,4 +176,26 @@ __all__ = [
     "telemetry_of",
     "TimelineAnalysis",
     "TimelineError",
+    "ExplainError",
+    "LineageIndex",
+    "explain_group",
+    "explain_reducer",
+    "format_explain_markdown",
+    "parse_cuboid",
+    "LINEAGE_RECORD_TYPES",
+    "LINEAGE_VERSION",
+    "NULL_LINEAGE",
+    "LineageRecorder",
+    "NullLineage",
+    "cuboid_of_mask_key",
+    "lineage_of",
+    "load_lineage",
+    "ALERT_KINDS",
+    "NULL_WATCHDOG",
+    "SKEW_TOLERANCE",
+    "STRAGGLER_FACTOR",
+    "NullWatchdog",
+    "Watchdog",
+    "WatchdogExpectation",
+    "watchdog_of",
 ]

@@ -36,7 +36,14 @@ from .schema import record_problems
 
 
 def load_trace(path) -> List[Dict]:
-    """Read a JSON-lines trace file into a record list (seq order)."""
+    """Read a JSON-lines trace file into a record list (seq order).
+
+    Raises :class:`ValueError` naming the offending line on damaged
+    files: a truncated final line fails the JSON parse, and a line that
+    *is* valid JSON but not an object (``42``, ``"oops"``) — the other
+    way a partial write corrupts a trace — is rejected here rather than
+    surfacing later as an ``AttributeError`` inside the analyzer.
+    """
     records: List[Dict] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, 1):
@@ -44,11 +51,17 @@ def load_trace(path) -> List[Dict]:
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError as error:
                 raise ValueError(
                     f"{path}:{line_number}: not valid JSON: {error}"
                 ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{line_number}: trace record must be a JSON "
+                    f"object, got {type(record).__name__}"
+                )
+            records.append(record)
     return records
 
 
@@ -189,6 +202,37 @@ class TraceAnalysis:
         return [
             e["fields"] for e in self._events_of_kind("round_resume", job)
         ]
+
+    # -- watchdog alerts and lineage -----------------------------------------
+
+    def alerts(self, job: Optional[str] = None,
+               kind: Optional[str] = None) -> List[Dict]:
+        """Watchdog alert events, in emission order.
+
+        Each entry is the full event record (``kind``, ``job``, ``at``
+        and the alert's ``fields``); filter by ``job`` and/or alert
+        ``kind`` (``skew_alert`` / ``misannotation_alert`` /
+        ``straggler_alert``).
+        """
+        from .watchdog import ALERT_KINDS
+
+        return [
+            e
+            for e in self._select(self.events, job)
+            if e.get("kind") in ALERT_KINDS
+            and (kind is None or e.get("kind") == kind)
+        ]
+
+    def alert_counts(self) -> Dict[str, int]:
+        """``{alert kind: count}`` over the whole trace (zero-free)."""
+        counts: Dict[str, int] = {}
+        for event in self.alerts():
+            counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        return counts
+
+    def lineage_events(self, job: Optional[str] = None) -> List[Dict]:
+        """Per-job ``lineage`` summary events (flow/record/byte totals)."""
+        return self._events_of_kind("lineage", job)
 
     # -- per-reducer load ---------------------------------------------------
 
@@ -378,6 +422,7 @@ class TraceAnalysis:
             "dominant_job": dominant,
             "reducer_loads": reducer_loads,
             "critical_path": critical,
+            "alerts": self.alert_counts(),
         }
         problems = summary_problems(summary)
         if problems:
@@ -418,6 +463,15 @@ class TraceAnalysis:
                 f"failure domains: {len(lost)} node(s) lost "
                 f"({sorted(set(lost))}), {len(resumes)} round resume(s), "
                 f"{len(self.checkpoint_writes())} checkpoint(s) committed"
+            )
+        alert_counts = self.alert_counts()
+        if alert_counts:
+            lines.append(
+                "watchdog: "
+                + ", ".join(
+                    f"{count} {kind}"
+                    for kind, count in sorted(alert_counts.items())
+                )
             )
         for span in self.jobs:
             job_seconds = span["t1"] - span["t0"]
@@ -462,6 +516,7 @@ SUMMARY_SCHEMA = {
     "dominant_job": (str, type(None)),
     "reducer_loads": dict,
     "critical_path": list,
+    "alerts": dict,
 }
 
 _RECOVERY_KEYS = ("attempts", "killed", "speculative_wins", "recovered")
@@ -523,6 +578,12 @@ def summary_problems(summary: Dict) -> List[str]:
         for field in ("phase", "task", "attempts", "chain_seconds"):
             if field not in entry:
                 problems.append(f"critical_path[{i}] missing {field!r}")
+    for kind, count in summary["alerts"].items():
+        if not isinstance(kind, str) or not isinstance(count, int):
+            problems.append(
+                f"alerts[{kind!r}] must map str kind -> int count"
+            )
+            break
     return problems
 
 

@@ -26,7 +26,9 @@ flat JSON-serializable dict of one of two shapes:
         "type": "event",
         "kind": "crash" | "straggle" | "speculation" | "spill" | "oom"
               | "route" | "shuffle" | "sketch" | "abort"
-              | "node_lost" | "checkpoint_write" | "round_resume",
+              | "node_lost" | "checkpoint_write" | "round_resume"
+              | "lineage" | "skew_alert" | "misannotation_alert"
+              | "straggler_alert",
         "job": str, "phase": str, "task": int, "attempt": int,  # optional
         "at": float,            # simulated seconds since trace start
         "fields": {...},        # kind-specific payload
@@ -64,6 +66,10 @@ EVENT_KINDS = (
     "node_lost",
     "checkpoint_write",
     "round_resume",
+    "lineage",
+    "skew_alert",
+    "misannotation_alert",
+    "straggler_alert",
 )
 
 #: Allowed values of a span's ``status`` field.

@@ -248,6 +248,33 @@ class ProgressSink:
                 f"({record.get('job')}): {len(salvaged)} partitions "
                 f"salvaged, nodes {fields.get('replaced_nodes')} replaced"
             )
+        if kind == "skew_alert":
+            fields = record.get("fields", {})
+            return (
+                f"[watch] skew_alert {record.get('job')}: reducer "
+                f"{fields.get('reducer')} got {fields.get('observed')} "
+                f"records, {fields.get('ratio', 0):.1f}x the n/k + m band "
+                f"({fields.get('bound', 0):.0f})"
+            )
+        if kind == "misannotation_alert":
+            fields = record.get("fields", {})
+            cuboid = fields.get("cuboid")
+            label = f"{cuboid:#x}" if isinstance(cuboid, int) else cuboid
+            return (
+                f"[watch] misannotation_alert {record.get('job')}: cuboid "
+                f"{label} put {fields.get('observed')} records on reducer "
+                f"{fields.get('reducer')} — value-partitioned but behaving "
+                f"like a batch cuboid"
+            )
+        if kind == "straggler_alert":
+            fields = record.get("fields", {})
+            return (
+                f"[watch] straggler_alert {record.get('job')}/"
+                f"{fields.get('phase')}: task {fields.get('task')} ran "
+                f"{fields.get('seconds', 0):.1f}s, "
+                f"{fields.get('ratio', 0):.1f}x the phase median "
+                f"({fields.get('median_seconds', 0):.1f}s)"
+            )
         return None
 
 

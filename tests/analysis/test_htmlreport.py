@@ -80,10 +80,11 @@ def recovery_json(tmp_path):
 class TestBuildReport:
     def test_all_sections_marked_missing_by_default(self):
         html = build_report()
-        for label in ("Trace", "Telemetry", "Doctor audit",
-                      "Bench: parallel perf", "Bench: recovery cost"):
+        for label in ("Trace", "Telemetry", "Lineage &amp; alerts",
+                      "Doctor audit", "Bench: parallel perf",
+                      "Bench: recovery cost"):
             assert f"<h2>{label}</h2>" in html
-        assert html.count("not provided") == 5
+        assert html.count("not provided") == 6
 
     def test_doctor_section_lists_problems_and_engines(self, doctor_json):
         html = build_report(doctor=doctor_json)

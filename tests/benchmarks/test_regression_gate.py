@@ -169,6 +169,50 @@ class TestTelemetryBand:
         assert gate_mod.compare_perf(baseline, fresh, notes=notes) == []
         assert notes == []
 
+
+class TestLineageBand:
+    """The flight-recorder twin gets the telemetry band, applied to its
+    own (much higher by design) committed ratio."""
+
+    def test_planted_overhead_blowup_fails(self):
+        baseline = perf_report(lineage={"overhead_ratio": 1.36})
+        # Ceiling for 1.36x baseline: 1.36 * 1.15 + 0.05 = 1.614x.
+        fresh = perf_report(lineage={"overhead_ratio": 1.8})
+        violations = gate_mod.compare_perf(baseline, fresh)
+        assert len(violations) == 1
+        assert "lineage overhead" in violations[0]
+        assert "1.800x" in violations[0]
+
+    def test_ratio_within_band_passes(self):
+        baseline = perf_report(lineage={"overhead_ratio": 1.36})
+        fresh = perf_report(lineage={"overhead_ratio": 1.55})
+        assert gate_mod.compare_perf(baseline, fresh) == []
+
+    def test_old_baseline_without_lineage_is_informational(self):
+        baseline = perf_report(telemetry={"overhead_ratio": 1.02})
+        fresh = perf_report(
+            telemetry={"overhead_ratio": 1.02},
+            lineage={"overhead_ratio": 1.4},
+        )
+        notes = []
+        assert gate_mod.compare_perf(baseline, fresh, notes=notes) == []
+        assert any("lineage" in note and "informational" in note
+                   for note in notes)
+
+    def test_both_twins_can_fail_together(self):
+        baseline = perf_report(
+            telemetry={"overhead_ratio": 1.02},
+            lineage={"overhead_ratio": 1.36},
+        )
+        fresh = perf_report(
+            telemetry={"overhead_ratio": 1.5},
+            lineage={"overhead_ratio": 2.0},
+        )
+        violations = gate_mod.compare_perf(baseline, fresh)
+        assert len(violations) == 2
+        assert any("telemetry overhead" in v for v in violations)
+        assert any("lineage overhead" in v for v in violations)
+
     def test_custom_tolerances(self):
         baseline = perf_report(telemetry={"overhead_ratio": 1.0})
         fresh = perf_report(telemetry={"overhead_ratio": 1.1})

@@ -350,3 +350,220 @@ class TestTelemetryCommands:
     def test_report_without_inputs_exits_cleanly(self, tmp_path):
         with pytest.raises(SystemExit, match="at least one input"):
             main(["report", "-o", str(tmp_path / "r.html")])
+
+
+class TestLineageCommands:
+    """--lineage/--watchdog on cube, and the explain query commands."""
+
+    def adversarial_artifact(self, tmp_path):
+        """The CI smoke pair's skewed half: a run that must alert."""
+        data = str(tmp_path / "adv.tsv")
+        lineage = str(tmp_path / "adv.lineage.jsonl")
+        main(["generate", "binomial", "--rows", "1500", "--skew", "0.9",
+              "--seed", "11", "-o", data])
+        assert main(
+            ["cube", data, "--machines", "4", "--memory-records", "32",
+             "--lineage", lineage, "--watchdog"]
+        ) == 0
+        return data, lineage
+
+    def test_cube_writes_lineage_and_alerts_on_skew(self, tmp_path, capsys):
+        import json
+
+        _data, lineage = self.adversarial_artifact(tmp_path)
+        out = capsys.readouterr().out
+        assert "lineage written" in out
+        assert "skew_alert" in out
+        records = [
+            json.loads(line) for line in open(lineage).read().splitlines()
+        ]
+        assert records[0]["type"] == "lineage_meta"
+        kinds = {r["kind"] for r in records if r["type"] == "alert"}
+        assert "skew_alert" in kinds
+
+    def test_uniform_run_stays_quiet(self, tmp_path, capsys):
+        data = str(tmp_path / "uni.tsv")
+        lineage = str(tmp_path / "uni.lineage.jsonl")
+        main(["generate", "binomial", "--rows", "1500", "--skew", "0.0",
+              "--seed", "11", "-o", data])
+        assert main(
+            ["cube", data, "--machines", "4", "--memory-records", "32",
+             "--lineage", lineage, "--watchdog"]
+        ) == 0
+        assert "watchdog:        no alerts" in capsys.readouterr().out
+
+    def test_explain_reducer_markdown_and_json(self, tmp_path, capsys):
+        import json
+
+        _data, lineage = self.adversarial_artifact(tmp_path)
+        capsys.readouterr()
+        assert main(["explain-reducer", lineage]) == 0
+        markdown = capsys.readouterr().out
+        assert "## Reducer" in markdown
+        assert "`sp-cube`" in markdown
+        assert "| cuboid | records |" in markdown
+        assert main(
+            ["explain-reducer", lineage, "--format", "json"]
+        ) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["query"] == "explain-reducer"
+        assert result["job"] == "sp-cube"
+        assert result["by_cuboid"]
+
+    def test_explain_group_follows_a_hot_cuboid(self, tmp_path, capsys):
+        import json
+
+        _data, lineage = self.adversarial_artifact(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["explain-reducer", lineage, "--format", "json"]
+        ) == 0
+        hottest = json.loads(capsys.readouterr().out)
+        cuboid = next(iter(hottest["by_cuboid"]))
+        assert main(
+            ["explain-group", lineage, "--cuboid", cuboid,
+             "--format", "json"]
+        ) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["cuboid"] == int(cuboid)
+        assert result["by_reducer"]
+
+    def test_explain_missing_file_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="error"):
+            main(["explain-reducer", "/nonexistent/run.lineage.jsonl"])
+        with pytest.raises(SystemExit, match="error"):
+            main(["explain-group", "/nonexistent/run.lineage.jsonl",
+                  "--cuboid", "3"])
+
+    def test_explain_bad_cuboid_exits_cleanly(self, tmp_path):
+        _data, lineage = self.adversarial_artifact(tmp_path)
+        with pytest.raises(SystemExit, match="lattice mask"):
+            main(["explain-group", lineage, "--cuboid", "xyz"])
+
+    def test_explain_truncated_artifact_names_line(self, tmp_path):
+        _data, lineage = self.adversarial_artifact(tmp_path)
+        text = open(lineage).read()
+        truncated = str(tmp_path / "truncated.lineage.jsonl")
+        open(truncated, "w").write(text[: len(text) // 2])
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["explain-reducer", truncated])
+
+    def test_report_with_only_lineage(self, tmp_path, capsys):
+        _data, lineage = self.adversarial_artifact(tmp_path)
+        out = str(tmp_path / "report.html")
+        assert main(["report", "--lineage", lineage, "-o", out]) == 0
+        html = open(out).read()
+        assert "Lineage &amp; alerts" in html
+        assert "skew_alert" in html
+        # Every other section degrades to its placeholder.
+        assert "not provided" in html
+
+
+class TestTruncatedTrace:
+    """A partially-written trace must die with a line number, not a
+    traceback (the crashed-run postmortem scenario)."""
+
+    def write_trace(self, tmp_path):
+        data = str(tmp_path / "data.tsv")
+        trace = str(tmp_path / "run.trace.jsonl")
+        main(["generate", "binomial", "--rows", "300", "-o", data])
+        assert main(["cube", data, "--machines", "4", "--trace", trace]) == 0
+        return trace
+
+    def test_truncated_final_line_exits_one_with_line_number(
+        self, tmp_path, capsys
+    ):
+        trace = self.write_trace(tmp_path)
+        lines = open(trace).read().splitlines()
+        broken = str(tmp_path / "broken.trace.jsonl")
+        open(broken, "w").write(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze-trace", broken])
+        message = str(excinfo.value)
+        assert f"{broken}:{len(lines)}:" in message
+        assert "not valid JSON" in message
+        assert "\n" not in message  # one-line reason
+
+    def test_scalar_record_exits_one_with_line_number(self, tmp_path):
+        trace = self.write_trace(tmp_path)
+        broken = str(tmp_path / "scalar.trace.jsonl")
+        open(broken, "w").write(open(trace).read() + "42\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze-trace", broken])
+        message = str(excinfo.value)
+        assert "must be a JSON object, got int" in message
+        assert f":{len(open(trace).readlines()) + 1}:" in message
+
+
+class TestMetricsServe:
+    """The --serve HTTP endpoint, exercised against an ephemeral port."""
+
+    def test_bind_serve_one_get_and_shutdown(self, tmp_path):
+        import threading
+        import urllib.request
+
+        from repro.cli import build_metrics_server
+        from repro.observability import check_prometheus_text
+
+        text = (
+            "# HELP repro_jobs_total MapReduce jobs run\n"
+            "# TYPE repro_jobs_total counter\n"
+            "repro_jobs_total 2\n"
+        )
+        server = build_metrics_server(text, port=0)
+        try:
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            url = f"http://127.0.0.1:{server.server_port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain"
+                )
+                body = response.read().decode("utf-8")
+            assert body == text
+            assert check_prometheus_text(body) == []
+            with pytest.raises(Exception):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.server_port}/other",
+                    timeout=5,
+                )
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.server_close()
+        assert not thread.is_alive()
+
+    def test_serves_real_timeline_exposition(self, tmp_path):
+        import threading
+        import urllib.request
+
+        from repro.cli import build_metrics_server
+        from repro.observability import TimelineAnalysis
+
+        data = str(tmp_path / "data.tsv")
+        timeline = str(tmp_path / "run.timeline.jsonl")
+        main(["generate", "binomial", "--rows", "300", "-o", data])
+        assert main(
+            ["cube", data, "--machines", "4", "--telemetry", timeline]
+        ) == 0
+        text = TimelineAnalysis.from_file(timeline).registry()
+        text = text.prometheus_text()
+        server = build_metrics_server(text, port=0)
+        try:
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            url = f"http://127.0.0.1:{server.server_port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                body = response.read().decode("utf-8")
+            assert "# TYPE repro_jobs_total counter" in body
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.server_close()

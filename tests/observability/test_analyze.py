@@ -185,7 +185,7 @@ class TestSummaryDict:
                 "schema_version": 1, "records": 0, "runs": [],
                 "recovery": {}, "failure_domains": {}, "jobs": [],
                 "dominant_job": None, "reducer_loads": {},
-                "critical_path": [],
+                "critical_path": [], "alerts": {},
             }
         )
         assert any("recovery." in p for p in problems)
