@@ -35,6 +35,16 @@ What is compared, and why the bands are where they are:
   cuboid), so only drift against the committed value is a finding.
   Baselines that predate either twin lack the key and are skipped
   (a fresh-only ratio prints as an informational note).
+* **Serving bench — +15% band, same setup only.**  The closed-loop
+  serving bench (``serving_bench.py``) records p99 latency, throughput
+  and cache hit rate under ``serving``; when both artifacts carry the
+  section *and* describe the same workload + server configuration, p99
+  may exceed the baseline by 15% plus an absolute 150 ms slack,
+  throughput may fall to 85%, and the hit rate may drop by at most
+  0.15 absolute.  Failed requests in the fresh bench trip the gate
+  unconditionally, and shedding at a load the baseline served cleanly
+  is a violation — admission control getting tighter is a regression,
+  not jitter.
 * **Absolute wall-clock — only on identical workloads.**  Seconds are
   meaningless across different row counts, so serial wall time and output
   group counts are checked only when the fresh artifact describes the
@@ -69,6 +79,11 @@ DEFAULT_SLOWDOWN_TOLERANCE = 0.5
 DEFAULT_SLOWDOWN_SLACK = 0.5
 DEFAULT_TELEMETRY_TOLERANCE = 0.15
 DEFAULT_TELEMETRY_SLACK = 0.05
+DEFAULT_SERVING_TOLERANCE = 0.15
+#: Absolute p99 slack in milliseconds: tail latencies at smoke load sit
+#: in the low hundreds of ms, where scheduler hiccups on a shared runner
+#: move the p99 additively, not proportionally.
+DEFAULT_SERVING_SLACK_MS = 150.0
 
 
 @dataclass(frozen=True)
@@ -89,6 +104,13 @@ class Tolerances:
     #: as slowdowns: the ratio hovers near 1.0).
     telemetry: float = DEFAULT_TELEMETRY_TOLERANCE
     telemetry_slack: float = DEFAULT_TELEMETRY_SLACK
+    #: Serving bench (same workload + server config only): fresh p99 may
+    #: exceed baseline by this fraction plus ``serving_slack_ms``
+    #: milliseconds, throughput may fall to ``(1 - serving)`` of
+    #: baseline, and the cache hit rate may drop by at most ``serving``
+    #: absolute.
+    serving: float = DEFAULT_SERVING_TOLERANCE
+    serving_slack_ms: float = DEFAULT_SERVING_SLACK_MS
 
 
 def _same_perf_workload(baseline: Dict, fresh: Dict) -> bool:
@@ -205,6 +227,94 @@ def compare_perf(
             notes.append(
                 f"perf: {twin} overhead ratio {fresh_ratio:.3f}x is "
                 f"informational (baseline predates the {twin} twin)"
+            )
+
+    violations.extend(
+        _compare_serving(baseline, fresh, tolerances, notes)
+    )
+    return violations
+
+
+def _compare_serving(
+    baseline: Dict,
+    fresh: Dict,
+    tolerances: Tolerances,
+    notes: Optional[List[str]],
+) -> List[str]:
+    """Serving-bench bands — applied only when both artifacts carry the
+    ``serving`` section (older baselines predate the serving layer).
+
+    Failed requests are a correctness signal, not a measurement, so any
+    fresh error trips the gate unconditionally.  Shedding, latency,
+    throughput and hit rate all depend on the offered load and the
+    server's admission limits, so those bands apply only when the two
+    runs describe the same workload *and* server configuration.
+    """
+    violations: List[str] = []
+    base = baseline.get("serving")
+    new = fresh.get("serving")
+    if not base or not new:
+        if new and notes is not None:
+            notes.append(
+                f"perf: serving bench ({new.get('throughput_qps')} qps, "
+                f"p99 {new.get('p99_latency_ms')} ms) is informational "
+                "(baseline predates the serving layer)"
+            )
+        return violations
+
+    if new.get("errors", 0) > 0:
+        violations.append(
+            f"serving: {new['errors']} request(s) failed in the fresh "
+            "bench (baseline contract is zero errors)"
+        )
+
+    same_setup = (
+        base.get("workload") == new.get("workload")
+        and base.get("server") == new.get("server")
+    )
+    if not same_setup:
+        if notes is not None:
+            notes.append(
+                "perf: serving latency/throughput/hit-rate bands skipped "
+                "(workload or server config differs from the baseline)"
+            )
+        return violations
+
+    if base.get("shed", 0) == 0 and new.get("shed", 0) > 0:
+        violations.append(
+            f"serving: {new['shed']} request(s) shed at a load the "
+            "baseline served without shedding"
+        )
+
+    base_p99, fresh_p99 = base.get("p99_latency_ms"), new.get("p99_latency_ms")
+    if base_p99 is not None and fresh_p99 is not None:
+        ceiling = (
+            base_p99 * (1.0 + tolerances.serving) + tolerances.serving_slack_ms
+        )
+        if fresh_p99 > ceiling:
+            violations.append(
+                f"serving: p99 latency {fresh_p99:.1f} ms exceeds "
+                f"{ceiling:.1f} ms (baseline {base_p99:.1f} ms "
+                f"+{tolerances.serving:.0%} +{tolerances.serving_slack_ms:g} ms)"
+            )
+
+    base_qps, fresh_qps = base.get("throughput_qps"), new.get("throughput_qps")
+    if base_qps and fresh_qps:
+        floor = base_qps * (1.0 - tolerances.serving)
+        if fresh_qps < floor:
+            violations.append(
+                f"serving: throughput fell to {fresh_qps:.1f} qps "
+                f"(baseline {base_qps:.1f} qps, floor {floor:.1f} qps)"
+            )
+
+    base_hits = base.get("cache_hit_rate")
+    fresh_hits = new.get("cache_hit_rate")
+    if base_hits is not None and fresh_hits is not None:
+        floor = base_hits - tolerances.serving
+        if fresh_hits < floor:
+            violations.append(
+                f"serving: cache hit rate fell to {fresh_hits:.3f} "
+                f"(baseline {base_hits:.3f}, floor {floor:.3f})"
             )
     return violations
 
@@ -385,6 +495,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--telemetry-slack", type=float, default=DEFAULT_TELEMETRY_SLACK
     )
+    parser.add_argument(
+        "--serving-tolerance", type=float,
+        default=DEFAULT_SERVING_TOLERANCE,
+    )
+    parser.add_argument(
+        "--serving-slack-ms", type=float,
+        default=DEFAULT_SERVING_SLACK_MS,
+    )
     args = parser.parse_args(argv)
 
     pairs = [
@@ -412,6 +530,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             slowdown_slack=args.slowdown_slack,
             telemetry=args.telemetry_tolerance,
             telemetry_slack=args.telemetry_slack,
+            serving=args.serving_tolerance,
+            serving_slack_ms=args.serving_slack_ms,
         ),
         notes=notes,
     )

@@ -1,0 +1,308 @@
+"""Closed-loop serving benchmark: seeded clients against a cube store.
+
+The pipeline benches measure how fast a cube is *built*; this one
+measures how fast it is *served*.  It builds an SP-Cube over the
+binomial workload, writes it as a :class:`~repro.serving.store.CubeStore`,
+starts a :class:`~repro.serving.server.CubeServer`, and drives it with
+``--clients`` closed-loop threads replaying a seeded mix of
+rollup/slice/top/pivot/drilldown/total queries drawn from a fixed pool
+(so the query-result cache sees realistic repetition).  It records
+
+* throughput (answered queries per second of wall time),
+* p50/p99 end-to-end latency,
+* the cache hit rate and the full ``serving.*`` counter set,
+* shed / deadline-exceeded / error counts,
+* store size on disk vs the in-memory cube estimate,
+
+into ``BENCH_perf.json`` under the ``serving`` key — merged into the
+existing artifact, never overwriting the build-side sections.  The
+regression gate bands p99 and throughput with the standard +15%
+tolerance and treats any shed or errored request at smoke load as a
+hard violation.
+
+Run directly (CI smoke config)::
+
+    python benchmarks/serving_bench.py --rows 20000 --requests 400 \
+        --clients 4 --check
+
+``--check`` exits nonzero unless the run saw non-zero cache hits and
+zero shed/errored requests — the serving-smoke CI contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.aggregates import get_aggregate  # noqa: E402
+from repro.analysis import paper_cluster  # noqa: E402
+from repro.core import SPCube  # noqa: E402
+from repro.datagen import gen_binomial  # noqa: E402
+from repro.query import CubeView  # noqa: E402
+from repro.serving import (  # noqa: E402
+    CubeServer,
+    CubeStore,
+    StoredCubeView,
+    estimate_cube_bytes,
+)
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Distinct specs in the query pool; small enough that a few hundred
+#: requests revisit each spec several times (exercising the result
+#: cache), large enough that the pool spans every op and several
+#: cuboids.
+POOL_SIZE = 24
+
+
+def build_query_pool(cube, seed: int) -> list:
+    """A seeded, deterministic pool of wire-format query specs.
+
+    Dimension values for slice/drilldown come from the cube itself so
+    every spec is answerable; the pool mixes all wire ops.
+    """
+    rng = random.Random(seed)
+    view = CubeView(cube)
+    dims = list(cube.schema.dimensions)
+    pool = [{"op": "total"}, {"op": "cuboid_sizes"}]
+    while len(pool) < POOL_SIZE:
+        op = rng.choice(["rollup", "rollup", "slice", "top", "pivot",
+                         "drilldown"])
+        if op == "rollup":
+            chosen = rng.sample(dims, rng.randint(1, min(2, len(dims))))
+            pool.append({"op": "rollup", "dimensions": chosen})
+        elif op == "slice":
+            dim = rng.choice(dims)
+            values = sorted(view.rollup(dim))
+            pool.append(
+                {"op": "slice",
+                 "fixed": {dim: rng.choice(values)[0]}}
+            )
+        elif op == "top":
+            dim = rng.choice(dims)
+            groups = len(view.rollup(dim))
+            pool.append(
+                {"op": "top", "dimensions": [dim],
+                 "k": rng.randint(1, max(1, min(5, groups)))}
+            )
+        elif op == "pivot":
+            row, column = rng.sample(dims, 2)
+            pool.append({"op": "pivot", "row": row, "column": column})
+        else:  # drilldown
+            fixed, into = rng.sample(dims, 2)
+            values = sorted(view.rollup(fixed))
+            pool.append(
+                {"op": "drilldown",
+                 "group": {fixed: rng.choice(values)[0]},
+                 "into": into}
+            )
+    return pool
+
+
+def _percentile(samples: list, fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _post_query(port: int, spec: dict, timeout: float):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/query",
+        data=json.dumps(spec).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            json.loads(response.read())
+            return response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code
+    except (urllib.error.URLError, OSError):
+        return -1
+
+
+def run_serving_bench(
+    rows: int = 20_000,
+    requests: int = 400,
+    clients: int = 4,
+    seed: int = 600,
+    workers: int = 4,
+    queue_depth: int = 16,
+    deadline: float = 10.0,
+    skew: float = 0.4,
+) -> dict:
+    """Build, store, serve, and hammer a cube; returns the report dict."""
+    relation = gen_binomial(rows, skew, seed=seed)
+    cluster = paper_cluster(rows)
+    run = SPCube(cluster, get_aggregate("count")).compute(relation)
+    cube = run.cube
+    in_memory_bytes = estimate_cube_bytes(cube)
+    pool = build_query_pool(cube, seed)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "bench.store")
+        store_bytes = CubeStore.write(cube, store_path, aggregate="count")
+        view = StoredCubeView.open(store_path)
+        server = CubeServer(
+            view,
+            workers=workers,
+            queue_depth=queue_depth,
+            deadline=deadline,
+        ).start()
+        try:
+            # Each closed-loop client walks the pool from a seeded
+            # offset: one request in flight per client, next one fires
+            # when the answer lands.
+            per_client = requests // clients
+            latencies: list = []
+            statuses: list = []
+            lock = threading.Lock()
+
+            def client(client_id: int) -> None:
+                rng = random.Random(seed * 1000 + client_id)
+                own_latencies, own_statuses = [], []
+                for _ in range(per_client):
+                    spec = pool[rng.randrange(len(pool))]
+                    started = time.perf_counter()
+                    status = _post_query(server.port, spec, deadline + 5)
+                    own_latencies.append(time.perf_counter() - started)
+                    own_statuses.append(status)
+                with lock:
+                    latencies.extend(own_latencies)
+                    statuses.extend(own_statuses)
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(clients)
+            ]
+            wall_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall_start
+            counters = view.stats()
+        finally:
+            server.close()
+            view.close()
+
+    answered = sum(1 for status in statuses if status == 200)
+    hits = counters["serving.cache_hit"]
+    misses = counters["serving.cache_miss"]
+    lookups = hits + misses
+    return {
+        "workload": {
+            "dataset": "gen_binomial",
+            "rows": rows,
+            "skew": skew,
+            "seed": seed,
+            "requests": len(statuses),
+            "clients": clients,
+            "query_pool": len(pool),
+        },
+        "server": {
+            "workers": workers,
+            "queue_depth": queue_depth,
+            "deadline_seconds": deadline,
+        },
+        "throughput_qps": round(len(statuses) / wall if wall else 0.0, 1),
+        "p50_latency_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p99_latency_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        "answered": answered,
+        "shed": counters["serving.shed"],
+        "deadline_exceeded": counters["serving.deadline_exceeded"],
+        "errors": len(statuses) - answered,
+        "cache_hit_rate": round(hits / lookups if lookups else 0.0, 4),
+        "counters": counters,
+        "store_bytes": store_bytes,
+        "in_memory_bytes": in_memory_bytes,
+        "store_ratio": round(
+            store_bytes / in_memory_bytes if in_memory_bytes else 0.0, 4
+        ),
+    }
+
+
+def update_bench_perf(report: dict, path: pathlib.Path = RESULT_PATH) -> None:
+    """Merge the serving report into BENCH_perf.json under ``serving``."""
+    existing = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+    existing["serving"] = report
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="closed-loop benchmark of the cube serving layer"
+    )
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=600)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=16)
+    parser.add_argument("--deadline", type=float, default=10.0)
+    parser.add_argument(
+        "--no-record", action="store_true",
+        help="print the report without touching BENCH_perf.json",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless cache hits > 0 and shed == errors == 0 "
+             "(the serving-smoke CI contract)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_serving_bench(
+        rows=args.rows,
+        requests=args.requests,
+        clients=args.clients,
+        seed=args.seed,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        deadline=args.deadline,
+    )
+    print(json.dumps(report, indent=2))
+    if not args.no_record:
+        update_bench_perf(report)
+        print(f"[serving section written to {RESULT_PATH}]")
+
+    if args.check:
+        problems = []
+        if report["counters"]["serving.cache_hit"] <= 0:
+            problems.append("no query-result cache hits")
+        if report["shed"] > 0:
+            problems.append(f"{report['shed']} requests shed at smoke load")
+        if report["errors"] > 0:
+            problems.append(f"{report['errors']} requests failed")
+        if problems:
+            for problem in problems:
+                print(f"serving-smoke violation: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"serving-smoke ok: {report['answered']} answered, "
+            f"hit rate {report['cache_hit_rate']}, 0 shed",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -266,6 +266,16 @@ def test_perf_wallclock():
         "telemetry": telemetry_report,
         "lineage": lineage_report,
     }
+    # The serving bench (benchmarks/serving_bench.py) merges its results
+    # into the same artifact under "serving"; carry the section across a
+    # perf re-run instead of silently dropping it.
+    if RESULT_PATH.exists():
+        try:
+            previous = json.loads(RESULT_PATH.read_text())
+        except ValueError:
+            previous = {}
+        if "serving" in previous:
+            report["serving"] = previous["serving"]
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\n{json.dumps(report, indent=2)}\n[written to {RESULT_PATH}]")
 

@@ -22,6 +22,7 @@ Package layout
 ``repro.datagen``     the paper's workload generators
 ``repro.theory``      skewness monotonicity and traffic-bound predicates
 ``repro.analysis``    sweep harness and paper-style reporting
+``repro.serving``     on-disk cube store, stored views, query server
 """
 
 from .aggregates import (
@@ -52,6 +53,7 @@ from .interface import CubeAlgorithm, CubeRun
 from .query import CubeView, QueryError
 from .mapreduce import ClusterConfig, CostModel
 from .relation import Relation, Schema
+from .serving import CubeServer, CubeStore, StoredCubeView, StoreError
 
 __version__ = "1.0.0"
 
@@ -90,6 +92,10 @@ __all__ = [
     "CubeRun",
     "CubeView",
     "QueryError",
+    "CubeServer",
+    "CubeStore",
+    "StoredCubeView",
+    "StoreError",
     "ClusterConfig",
     "CostModel",
     "Relation",

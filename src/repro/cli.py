@@ -14,6 +14,9 @@ Commands
                    cuboids, map tasks and input splits
 ``explain-group``  walk a lineage artifact from a cuboid forward to the
                    reducers and map tasks that carried it
+``serve-cube``     serve a cube store over HTTP with bounded admission,
+                   per-query deadlines and load shedding
+``query``          answer one OLAP query from a cube store
 
 Examples::
 
@@ -33,6 +36,9 @@ Examples::
     python -m repro report --trace run.trace.jsonl \
         --telemetry run.timeline.jsonl --lineage run.lineage.jsonl \
         -o report.html
+    python -m repro cube data.tsv --store cube.store
+    python -m repro query cube.store '{"op": "rollup", "dimensions": ["a1"]}'
+    python -m repro serve-cube cube.store --port 8080
 
 The ``cube`` and ``compare`` commands take fault-injection knobs
 (``--fault-seed``, ``--crash-prob``, ``--straggle-prob``,
@@ -272,6 +278,16 @@ def cmd_cube(args) -> int:
     if args.output:
         lines = repro_io.write_cube(run.cube, args.output)
         print(f"wrote {lines} c-groups to {args.output}")
+    if args.store:
+        from .serving import CubeStore
+
+        size = CubeStore.write(
+            run.cube, args.store, aggregate=args.aggregate
+        )
+        print(
+            f"wrote cube store to {args.store} ({size} bytes; "
+            f"serve with 'repro serve-cube {args.store}')"
+        )
     metrics = run.metrics
     print(f"engine:          {metrics.algorithm}")
     print(f"c-groups:        {run.cube.num_groups}")
@@ -525,6 +541,69 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve_cube(args) -> int:
+    from .serving import CubeServer, StoredCubeView, StoreError
+
+    try:
+        view = StoredCubeView.open(
+            args.store,
+            segment_cache_size=args.segment_cache,
+            result_cache_size=args.result_cache,
+        )
+    except (OSError, StoreError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    try:
+        server = CubeServer(
+            view,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            deadline=args.deadline,
+            port=args.port,
+        )
+    except ValueError as error:
+        view.close()
+        raise SystemExit(f"repro: error: {error}") from None
+    print(
+        f"serving {args.store} "
+        f"({len(view.store.masks)} cuboids, {view.store.total_groups} "
+        f"groups) on http://127.0.0.1:{server.port} — POST /query, "
+        f"GET /stats (Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+        view.close()
+    return 0
+
+
+def cmd_query(args) -> int:
+    import json
+
+    from .query.view import QueryError
+    from .serving import StoredCubeView, StoreError, execute_query
+
+    try:
+        spec = json.loads(args.spec)
+    except ValueError as error:
+        raise SystemExit(
+            f"repro: error: query spec is not valid JSON: {error}"
+        ) from None
+    try:
+        with StoredCubeView.open(args.store) as view:
+            result = execute_query(view, spec)
+            if args.stats:
+                print(
+                    json.dumps(view.stats(), sort_keys=True),
+                    file=sys.stderr,
+                )
+    except (OSError, StoreError, QueryError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_doctor(args) -> int:
     from .observability import format_doctor_markdown, run_doctor
 
@@ -683,6 +762,11 @@ def build_parser() -> argparse.ArgumentParser:
     cube.add_argument("--aggregate", default="count")
     cube.add_argument("--machines", type=int, default=20)
     cube.add_argument("-o", "--output")
+    cube.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="also write the cube as a serving store (query with "
+             "'repro query PATH ...' or 'repro serve-cube PATH')",
+    )
     _add_execution_args(cube)
     _add_fault_args(cube)
     _add_trace_args(cube)
@@ -819,6 +903,57 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--title", default="repro run report")
     report.add_argument("-o", "--output", default="report.html")
     report.set_defaults(fn=cmd_report)
+
+    serve_cube = sub.add_parser(
+        "serve-cube",
+        help="serve a cube store over HTTP: ThreadPool workers, bounded "
+             "admission queue, per-query deadline, retriable load "
+             "shedding; POST /query, GET /stats, GET /healthz",
+    )
+    serve_cube.add_argument("store", help="store file written with --store")
+    serve_cube.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="bind 127.0.0.1:PORT (0 picks a free port)",
+    )
+    serve_cube.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="query worker threads",
+    )
+    serve_cube.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="admitted queries allowed to wait beyond the workers; "
+             "requests past workers + N are shed with a retriable 503",
+    )
+    serve_cube.add_argument(
+        "--deadline", type=float, default=5.0, metavar="SECONDS",
+        help="per-query deadline; late answers return a retriable 504",
+    )
+    serve_cube.add_argument(
+        "--segment-cache", type=int, default=16, metavar="N",
+        help="decoded cuboid segments kept in the LRU cache",
+    )
+    serve_cube.add_argument(
+        "--result-cache", type=int, default=128, metavar="N",
+        help="finished query results kept in the LRU cache",
+    )
+    serve_cube.set_defaults(fn=cmd_serve_cube)
+
+    query = sub.add_parser(
+        "query",
+        help="answer one OLAP query from a cube store, e.g. "
+             "'{\"op\": \"rollup\", \"dimensions\": [\"a1\"]}'",
+    )
+    query.add_argument("store", help="store file written with --store")
+    query.add_argument(
+        "spec",
+        help="JSON query spec: op = rollup | total | slice | drilldown "
+             "| top | pivot | cuboid_sizes",
+    )
+    query.add_argument(
+        "--stats", action="store_true",
+        help="print the serving counters to stderr after answering",
+    )
+    query.set_defaults(fn=cmd_query)
 
     doctor = sub.add_parser(
         "doctor",

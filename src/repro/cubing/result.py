@@ -128,8 +128,10 @@ class CubeResult:
             return NotImplemented
         return self._groups == other._groups
 
-    def __hash__(self):  # pragma: no cover - results are not hashable
-        raise TypeError("CubeResult is unhashable")
+    # Mutable, with a value-based __eq__: unhashable the canonical way,
+    # so hash() raises TypeError at the call site instead of from a
+    # hand-rolled method body.
+    __hash__ = None
 
     def __len__(self) -> int:
         return len(self._groups)

@@ -728,6 +728,7 @@ def run_doctor(
             if name == "spcube":
                 sketch = run.sketch
                 spcube_analysis = TraceAnalysis(sink.records)
+                spcube_cube = run.cube
         entry["engines"] = engine_rows
 
         memory = paper_cluster(rows, num_machines=machines).derive_memory(
@@ -739,6 +740,31 @@ def run_doctor(
         entry["audit"] = audit.to_dict()
         attribution = attribute_load(relation, sketch, spcube_analysis)
         entry["attribution"] = attribution.to_dict()
+
+        # Serving-store footprint: persist the SP-Cube result to a
+        # scratch store and compare bytes on disk against the resident
+        # cube, so store-format bloat (or a broken compression ratio)
+        # surfaces in the same report as sketch quality.
+        import os
+        import tempfile
+
+        from ..serving import CubeStore, estimate_cube_bytes
+
+        spcube_run = spcube_cube
+        in_memory_bytes = estimate_cube_bytes(spcube_run)
+        with tempfile.TemporaryDirectory() as tmp:
+            store_path = os.path.join(tmp, "doctor.store")
+            store_bytes = CubeStore.write(
+                spcube_run, store_path, aggregate="count"
+            )
+        entry["store"] = {
+            "groups": spcube_run.num_groups,
+            "in_memory_bytes": in_memory_bytes,
+            "store_bytes": store_bytes,
+            "ratio": round(
+                store_bytes / in_memory_bytes if in_memory_bytes else 0.0, 4
+            ),
+        }
 
         for problem in audit.problems():
             report["problems"].append(f"{label}: {problem}")
@@ -841,6 +867,29 @@ def format_doctor_markdown(report: Dict) -> str:
             engine_rows,
         )
     )
+
+    # Reports written before the serving layer lack the store section;
+    # render it only when every entry carries one.
+    store_rows = [
+        [
+            entry["name"],
+            str(entry["store"]["groups"]),
+            f"{entry['store']['in_memory_bytes'] / 1e6:.2f}",
+            f"{entry['store']['store_bytes'] / 1e6:.2f}",
+            f"{entry['store']['ratio']:.3f}",
+        ]
+        for entry in report["datasets"]
+        if "store" in entry
+    ]
+    if store_rows:
+        lines += ["", "## Store footprint (SP-Cube)", ""]
+        lines.append(
+            format_markdown_table(
+                ["dataset", "c-groups", "in-memory (MB)", "store (MB)",
+                 "store/memory"],
+                store_rows,
+            )
+        )
 
     lines += ["", "## Verdict", ""]
     if report["healthy"]:

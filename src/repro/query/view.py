@@ -38,13 +38,19 @@ class CubeView:
 
     # -- helpers -------------------------------------------------------------
 
+    def _dimension_index(self, name: str) -> int:
+        """Schema lookup with unknown names surfaced as QueryErrors —
+        every operation funnels through here so callers never see a
+        raw :class:`SchemaError` (or worse, a ``KeyError``)."""
+        try:
+            return self.schema.dimension_index(name)
+        except SchemaError as exc:
+            raise QueryError(str(exc)) from None
+
     def _mask_for(self, dimensions: Sequence[str]) -> int:
         mask = 0
         for name in dimensions:
-            try:
-                index = self.schema.dimension_index(name)
-            except SchemaError as exc:
-                raise QueryError(str(exc)) from None
+            index = self._dimension_index(name)
             bit = 1 << index
             if mask & bit:
                 raise QueryError(f"dimension {name!r} listed twice")
@@ -103,7 +109,7 @@ class CubeView:
         """
         full = (1 << self.schema.num_dimensions) - 1
         fixed_indexes = {
-            self.schema.dimension_index(name): value
+            self._dimension_index(name): value
             for name, value in fixed.items()
         }
         groups = self._named_groups(full)
@@ -127,7 +133,7 @@ class CubeView:
         """
         full = (1 << self.schema.num_dimensions) - 1
         index_predicates = {
-            self.schema.dimension_index(name): predicate
+            self._dimension_index(name): predicate
             for name, predicate in predicates.items()
         }
         return {
@@ -157,9 +163,9 @@ class CubeView:
         dims = list(group) + [into]
         mask = self._mask_for(dims)
         ordered = mask_dimensions(mask, self.schema.num_dimensions)
-        into_index = self.schema.dimension_index(into)
+        into_index = self._dimension_index(into)
         fixed = {
-            self.schema.dimension_index(name): value
+            self._dimension_index(name): value
             for name, value in group.items()
         }
         result: Dict[object, object] = {}
@@ -178,15 +184,25 @@ class CubeView:
         """The ``k`` groups of a cuboid with the largest aggregates.
 
         ``key`` extracts a sortable magnitude from the aggregate value
-        (identity by default — fine for count/sum).
+        (identity by default — fine for count/sum).  Ties break on the
+        group values, ascending, so the ranking does not depend on the
+        iteration order of the backing cuboid.
         """
         if k <= 0:
             raise QueryError("k must be positive")
         key = key or (lambda value: value)
         groups = self.rollup(*dimensions)
-        return sorted(
-            groups.items(), key=lambda item: (key(item[1]),), reverse=True
-        )[:k]
+        if k > len(groups):
+            raise QueryError(
+                f"top({k}) asked of a cuboid with only "
+                f"{len(groups)} group(s)"
+            )
+        try:
+            ranked = sorted(groups.items())
+        except TypeError:  # unorderable mixed-type group values
+            ranked = sorted(groups.items(), key=lambda item: repr(item[0]))
+        ranked.sort(key=lambda item: key(item[1]), reverse=True)
+        return ranked[:k]
 
     def pivot(
         self, row_dim: str, column_dim: str

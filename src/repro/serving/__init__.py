@@ -1,0 +1,32 @@
+"""The cube serving layer: the read side of the pipeline.
+
+The engines end with a materialized :class:`~repro.cubing.result.CubeResult`;
+this package turns that batch artifact into something queryable at
+serving time, in three layers:
+
+* :mod:`~repro.serving.store` — :class:`CubeStore`, the on-disk format:
+  per-cuboid sorted segments behind a checksummed footer index, written
+  once and read lazily so a query touches only the cuboids it needs;
+* :mod:`~repro.serving.view` — :class:`StoredCubeView`, the planner:
+  the full :class:`~repro.query.view.CubeView` API over a store, with
+  ancestor-cuboid re-aggregation for non-materialized cuboids, an LRU
+  segment cache and a keyed query-result cache;
+* :mod:`~repro.serving.server` — :class:`CubeServer`, the front end:
+  a ThreadPool-backed HTTP query server with bounded admission,
+  per-query deadlines and typed retriable load-shedding errors
+  (``python -m repro serve-cube``).
+"""
+
+from .server import CubeServer, execute_query
+from .store import CubeStore, ServingCounters, StoreError, estimate_cube_bytes
+from .view import StoredCubeView
+
+__all__ = [
+    "CubeServer",
+    "CubeStore",
+    "ServingCounters",
+    "StoreError",
+    "StoredCubeView",
+    "estimate_cube_bytes",
+    "execute_query",
+]

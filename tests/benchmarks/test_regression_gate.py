@@ -241,6 +241,118 @@ class TestLineageBand:
         assert "telemetry overhead" in capsys.readouterr().out
 
 
+def serving_section(**overrides):
+    section = {
+        "workload": {"rows": 20_000, "requests": 400, "clients": 4,
+                     "seed": 600, "skew": 0.4},
+        "server": {"workers": 4, "queue_depth": 16, "deadline": 10.0},
+        "throughput_qps": 150.0,
+        "p50_latency_ms": 15.0,
+        "p99_latency_ms": 250.0,
+        "answered": 400,
+        "shed": 0,
+        "deadline_exceeded": 0,
+        "errors": 0,
+        "cache_hit_rate": 0.88,
+    }
+    section.update(overrides)
+    return section
+
+
+class TestServingBand:
+    def test_identical_serving_sections_pass(self):
+        baseline = perf_report(serving=serving_section())
+        fresh = perf_report(serving=serving_section())
+        assert gate_mod.compare_perf(baseline, fresh) == []
+
+    def test_fresh_errors_fail_unconditionally(self):
+        # Even with a mismatched setup (bands skipped), failed requests
+        # are a correctness signal and must trip the gate.
+        baseline = perf_report(serving=serving_section())
+        fresh = perf_report(serving=serving_section(
+            errors=3,
+            workload={"rows": 99, "requests": 1, "clients": 1,
+                      "seed": 1, "skew": 0.0},
+        ))
+        violations = gate_mod.compare_perf(baseline, fresh)
+        assert len(violations) == 1
+        assert "3 request(s) failed" in violations[0]
+
+    def test_new_shedding_fails(self):
+        baseline = perf_report(serving=serving_section())
+        fresh = perf_report(serving=serving_section(shed=7))
+        violations = gate_mod.compare_perf(baseline, fresh)
+        assert any("7 request(s) shed" in v for v in violations)
+
+    def test_planted_p99_blowup_fails(self):
+        """The acceptance case: a planted latency blowup trips the band."""
+        baseline = perf_report(serving=serving_section())
+        # Ceiling for 250 ms baseline: 250 * 1.15 + 150 = 437.5 ms.
+        fresh = perf_report(serving=serving_section(p99_latency_ms=500.0))
+        violations = gate_mod.compare_perf(baseline, fresh)
+        assert len(violations) == 1
+        assert "p99 latency 500.0 ms" in violations[0]
+
+    def test_p99_within_band_passes(self):
+        baseline = perf_report(serving=serving_section())
+        fresh = perf_report(serving=serving_section(p99_latency_ms=430.0))
+        assert gate_mod.compare_perf(baseline, fresh) == []
+
+    def test_throughput_collapse_fails(self):
+        baseline = perf_report(serving=serving_section())
+        # Floor for 150 qps baseline: 150 * 0.85 = 127.5 qps.
+        fresh = perf_report(serving=serving_section(throughput_qps=100.0))
+        violations = gate_mod.compare_perf(baseline, fresh)
+        assert any("throughput fell" in v for v in violations)
+
+    def test_cache_hit_rate_collapse_fails(self):
+        baseline = perf_report(serving=serving_section())
+        # Floor for 0.88 baseline: 0.88 - 0.15 = 0.73.
+        fresh = perf_report(serving=serving_section(cache_hit_rate=0.5))
+        violations = gate_mod.compare_perf(baseline, fresh)
+        assert any("cache hit rate fell" in v for v in violations)
+
+    def test_old_baseline_without_serving_is_informational(self):
+        baseline = perf_report()
+        fresh = perf_report(serving=serving_section())
+        notes = []
+        assert gate_mod.compare_perf(baseline, fresh, notes=notes) == []
+        assert any("serving bench" in note and "informational" in note
+                   for note in notes)
+
+    def test_mismatched_setup_skips_load_bands(self):
+        # A different offered load makes shed/latency/qps incomparable:
+        # note them, gate nothing (errors excepted, tested above).
+        baseline = perf_report(serving=serving_section())
+        fresh = perf_report(serving=serving_section(
+            p99_latency_ms=9000.0,
+            throughput_qps=1.0,
+            shed=50,
+            server={"workers": 1, "queue_depth": 0, "deadline": 1.0},
+        ))
+        notes = []
+        assert gate_mod.compare_perf(baseline, fresh, notes=notes) == []
+        assert any("skipped" in note for note in notes)
+
+    def test_cli_serving_tolerance_flags(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(perf_report(serving=serving_section())))
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(
+            perf_report(serving=serving_section(p99_latency_ms=300.0))
+        ))
+        relaxed = gate_mod.main(
+            ["--perf-baseline", str(base), "--perf-fresh", str(fresh)]
+        )
+        assert relaxed == 0
+        tight = gate_mod.main(
+            ["--perf-baseline", str(base), "--perf-fresh", str(fresh),
+             "--serving-tolerance", "0.01", "--serving-slack-ms", "0.0"]
+        )
+        assert tight == 1
+        assert "p99 latency" in capsys.readouterr().out
+
+
 class TestRecoveryGate:
     def test_identical_artifacts_pass(self):
         assert (

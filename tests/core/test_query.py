@@ -126,6 +126,46 @@ class TestTopAndPivot:
         assert len(sizes) == 8
 
 
+class TestErrorPaths:
+    """Every malformed query surfaces as a QueryError — never a raw
+    SchemaError or KeyError leaking implementation detail."""
+
+    def test_rollup_unknown_dimension(self, view):
+        with pytest.raises(QueryError, match="unknown dimension"):
+            view.rollup("name", "bogus")
+
+    def test_slice_unknown_dimension(self, view):
+        with pytest.raises(QueryError, match="unknown dimension"):
+            view.slice(bogus="Rome")
+
+    def test_dice_unknown_dimension(self, view):
+        with pytest.raises(QueryError, match="unknown dimension"):
+            view.dice(bogus=lambda v: True)
+
+    def test_drilldown_unknown_group_dimension(self, view):
+        with pytest.raises(QueryError, match="unknown dimension"):
+            view.drilldown({"bogus": "laptop"}, into="city")
+
+    def test_drilldown_unknown_into_dimension(self, view):
+        with pytest.raises(QueryError, match="unknown dimension"):
+            view.drilldown({"name": "laptop"}, into="bogus")
+
+    def test_empty_cube_total(self, retail_schema):
+        from repro.cubing import CubeResult
+
+        empty = CubeView(CubeResult(retail_schema))
+        with pytest.raises(QueryError, match="no apex"):
+            empty.total()
+
+    def test_top_k_larger_than_cuboid(self, view):
+        # 4 product names; asking for 5 is a caller bug, not a short list.
+        with pytest.raises(QueryError, match="only 4 group"):
+            view.top(["name"], k=5)
+
+    def test_top_k_equal_to_cuboid_is_fine(self, view):
+        assert len(view.top(["name"], k=4)) == 4
+
+
 class TestDistributedCubeQueries:
     def test_view_over_spcube_output(self, retail_relation):
         """Queries work identically over a distributed engine's cube."""

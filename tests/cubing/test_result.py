@@ -80,8 +80,18 @@ class TestComparison:
         assert CubeResult(schema) != {}
 
     def test_unhashable(self, schema):
-        with pytest.raises(TypeError):
+        with pytest.raises(TypeError, match="unhashable type"):
             hash(CubeResult(schema))
+
+    def test_unhashable_the_canonical_way(self, schema):
+        # __hash__ = None (not a raising method): dict/set membership
+        # fails up front and collections.abc.Hashable agrees.
+        from collections.abc import Hashable
+
+        assert CubeResult.__hash__ is None
+        assert not isinstance(CubeResult(schema), Hashable)
+        with pytest.raises(TypeError, match="unhashable type"):
+            {CubeResult(schema): 1}
 
     def test_diff_reports_all_kinds(self, schema):
         a = CubeResult(schema, {(0, ()): 1, (0b01, ("x",)): 2})

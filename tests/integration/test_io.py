@@ -74,6 +74,61 @@ class TestCubeExport:
         assert "(*, *, *)\t10" in content
 
 
+class TestCubeRoundtrip:
+    def test_roundtrip_retail(self, retail_relation, tmp_path):
+        cube = sequential_cube(retail_relation)
+        path = str(tmp_path / "cube.tsv")
+        repro_io.write_cube(cube, path)
+        loaded = repro_io.read_cube(
+            path,
+            retail_relation.schema,
+            dimension_parsers=[str, str, int],
+        )
+        assert loaded == cube
+
+    def test_roundtrip_engine_cube(self, tmp_path):
+        rel = gen_binomial(500, 0.4, seed=3)
+        run = SPCube(ClusterConfig(num_machines=4)).compute(rel)
+        path = str(tmp_path / "cube.tsv")
+        repro_io.write_cube(run.cube, path)
+        loaded = repro_io.read_cube(
+            path, rel.schema, dimension_parsers=[int] * 4
+        )
+        assert loaded == run.cube
+
+    def test_missing_delimiter_line_numbered(self, retail_schema, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("(*, *, *)\t10\n(laptop, *, *) 3\n")
+        with pytest.raises(ValueError, match=r"bad\.tsv:2: no delimiter"):
+            repro_io.read_cube(str(path), retail_schema)
+
+    def test_wrong_arity_group_rejected(self, retail_schema, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("(laptop, *)\t3\n")
+        with pytest.raises(ValueError, match="2 positions"):
+            repro_io.read_cube(str(path), retail_schema)
+
+    def test_unparsable_value_line_numbered(self, retail_schema, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("(*, *, *)\tnot-a-number\n")
+        with pytest.raises(ValueError, match=r"bad\.tsv:1: unparsable"):
+            repro_io.read_cube(str(path), retail_schema)
+
+    def test_not_star_notation_rejected(self, retail_schema, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("laptop,*,*\t3\n")
+        with pytest.raises(ValueError, match="star notation"):
+            repro_io.read_cube(str(path), retail_schema)
+
+    def test_wrong_parser_count(self, retail_schema, tmp_path):
+        path = tmp_path / "cube.tsv"
+        path.write_text("(*, *, *)\t10\n")
+        with pytest.raises(ValueError, match="parsers"):
+            repro_io.read_cube(
+                str(path), retail_schema, dimension_parsers=[str]
+            )
+
+
 class TestSketchRoundtrip:
     def test_json_roundtrip_exact(self):
         rel = make_random_relation(400, seed=5, skew_fraction=0.4)

@@ -1,0 +1,245 @@
+"""StoredCubeView vs in-memory CubeView: bit-identity by construction.
+
+The acceptance bar for the serving layer: every query type answered
+from disk must equal the in-memory answer exactly — across all five
+engines, for iceberg-pruned cubes, and through the ancestor
+re-aggregation path of deliberately partial stores.
+"""
+
+import pytest
+
+from repro import (
+    ClusterConfig,
+    CubeView,
+    HiveCube,
+    MRCube,
+    NaiveCube,
+    PipeSortMR,
+    QueryError,
+    SPCube,
+    StoredCubeView,
+)
+from repro.aggregates import Average, Sum
+from repro.datagen import gen_binomial
+
+ENGINES = [NaiveCube, MRCube, HiveCube, PipeSortMR, SPCube]
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return gen_binomial(400, 0.4, seed=7)
+
+
+def assert_identical(stored, memory, relation):
+    """Every query type, disk vs memory, compared with ``==``."""
+    dims = relation.schema.dimensions
+    assert stored.total() == memory.total()
+    assert stored.cuboid_sizes() == memory.cuboid_sizes()
+    assert stored.rollup(dims[0]) == memory.rollup(dims[0])
+    assert stored.rollup(dims[1], dims[3]) == memory.rollup(
+        dims[1], dims[3]
+    )
+    # Out-of-schema-order rollup exercises the column permutation.
+    assert stored.rollup(dims[2], dims[0]) == memory.rollup(
+        dims[2], dims[0]
+    )
+    anchor = max(memory.rollup(dims[0]))[0]  # a real dimension value
+    assert stored.slice(**{dims[0]: anchor}) == memory.slice(
+        **{dims[0]: anchor}
+    )
+    assert stored.dice(**{dims[1]: lambda v: v % 2 == 0}) == memory.dice(
+        **{dims[1]: lambda v: v % 2 == 0}
+    )
+    assert stored.drilldown(
+        {dims[0]: anchor}, into=dims[2]
+    ) == memory.drilldown({dims[0]: anchor}, into=dims[2])
+    assert stored.top([dims[0], dims[1]], k=3) == memory.top(
+        [dims[0], dims[1]], k=3
+    )
+    assert stored.pivot(dims[0], dims[3]) == memory.pivot(dims[0], dims[3])
+
+
+class TestFiveEngineIdentity:
+    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.__name__)
+    def test_count_cube(self, engine, relation, tmp_path):
+        run = engine(ClusterConfig(num_machines=4)).compute(relation)
+        path = str(tmp_path / "cube.store")
+        from repro.serving import CubeStore
+
+        CubeStore.write(run.cube, path, aggregate="count")
+        memory = CubeView(run.cube)
+        with StoredCubeView.open(path) as stored:
+            assert_identical(stored, memory, relation)
+
+    def test_sum_cube(self, relation, tmp_path):
+        run = SPCube(ClusterConfig(num_machines=4), Sum()).compute(relation)
+        path = str(tmp_path / "sum.store")
+        from repro.serving import CubeStore
+
+        CubeStore.write(run.cube, path, aggregate=Sum())
+        memory = CubeView(run.cube)
+        with StoredCubeView.open(path) as stored:
+            assert_identical(stored, memory, relation)
+
+
+class TestIcebergIdentity:
+    def test_iceberg_cube_served_exactly(self, relation, tmp_path):
+        run = SPCube(
+            ClusterConfig(num_machines=4), min_group_size=3
+        ).compute(relation)
+        path = str(tmp_path / "iceberg.store")
+        from repro.serving import CubeStore
+
+        CubeStore.write(
+            run.cube, path, aggregate="count", min_group_size=3
+        )
+        memory = CubeView(run.cube)
+        with StoredCubeView.open(path) as stored:
+            assert stored.store.min_group_size == 3
+            assert_identical(stored, memory, relation)
+
+    def test_iceberg_store_materializes_every_cuboid(
+        self, relation, tmp_path
+    ):
+        # Re-aggregating a pruned ancestor would undercount, so an
+        # iceberg store must carry every cuboid (possibly empty) and
+        # never take the re-aggregation path.
+        run = SPCube(
+            ClusterConfig(num_machines=4), min_group_size=5
+        ).compute(relation)
+        path = str(tmp_path / "iceberg.store")
+        from repro.serving import CubeStore
+
+        CubeStore.write(
+            run.cube, path, aggregate="count", min_group_size=5
+        )
+        with StoredCubeView.open(path) as stored:
+            assert len(stored.store.masks) == 16  # full 4-dim lattice
+            stored.rollup("a1", "a2", "a3")
+            assert stored.stats()["serving.reaggregations"] == 0
+
+
+class TestAncestorReaggregation:
+    def test_partial_store_answers_from_full_cuboid(
+        self, relation, tmp_path
+    ):
+        run = SPCube(ClusterConfig(num_machines=4)).compute(relation)
+        full = (1 << 4) - 1
+        path = str(tmp_path / "partial.store")
+        from repro.serving import CubeStore
+
+        CubeStore.write(run.cube, path, aggregate="count", cuboids=[full])
+        memory = CubeView(run.cube)
+        with StoredCubeView.open(path) as stored:
+            assert_identical(stored, memory, relation)
+            assert stored.stats()["serving.reaggregations"] > 0
+
+    def test_smallest_covering_ancestor_chosen(self, relation, tmp_path):
+        # With both a1a2a3 and the full cuboid on disk, a rollup on a1
+        # must plan from the (smaller) three-dimensional ancestor.
+        run = SPCube(ClusterConfig(num_machines=4)).compute(relation)
+        path = str(tmp_path / "two.store")
+        from repro.serving import CubeStore
+
+        CubeStore.write(
+            run.cube, path, aggregate="count", cuboids=[0b0111, 0b1111]
+        )
+        with StoredCubeView.open(path) as stored:
+            adapter = stored.cube
+            assert adapter._covering_ancestor(0b0001) == 0b0111
+            assert stored.rollup("a1") == CubeView(run.cube).rollup("a1")
+
+    def test_no_covering_ancestor_is_query_error(
+        self, relation, tmp_path
+    ):
+        run = SPCube(ClusterConfig(num_machines=4)).compute(relation)
+        path = str(tmp_path / "thin.store")
+        from repro.serving import CubeStore
+
+        CubeStore.write(run.cube, path, aggregate="count", cuboids=[0b0001])
+        with StoredCubeView.open(path) as stored:
+            with pytest.raises(QueryError, match="covers mask 0x2"):
+                stored.rollup("a2")
+
+    def test_algebraic_aggregate_refuses_reaggregation(
+        self, relation, tmp_path
+    ):
+        # avg's finalized values are not mergeable state: a partial
+        # store must error rather than serve a wrong mean.
+        run = SPCube(
+            ClusterConfig(num_machines=4), Average(), allow_holistic=True
+        ).compute(relation)
+        full = (1 << 4) - 1
+        path = str(tmp_path / "avg.store")
+        from repro.serving import CubeStore
+
+        CubeStore.write(
+            run.cube, path, aggregate=Average(), cuboids=[full]
+        )
+        with StoredCubeView.open(path) as stored:
+            assert stored.rollup("a1", "a2", "a3", "a4") == CubeView(
+                run.cube
+            ).rollup("a1", "a2", "a3", "a4")
+            with pytest.raises(QueryError, match="cannot be re-aggregated"):
+                stored.rollup("a1")
+
+
+class TestResultCache:
+    @pytest.fixture
+    def stored(self, relation, tmp_path):
+        run = SPCube(ClusterConfig(num_machines=4)).compute(relation)
+        path = str(tmp_path / "cache.store")
+        from repro.serving import CubeStore
+
+        CubeStore.write(run.cube, path, aggregate="count")
+        with StoredCubeView.open(path) as view:
+            yield view
+
+    def test_repeat_query_hits(self, stored):
+        first = stored.rollup("a1")
+        assert stored.stats()["serving.cache_hit"] == 0
+        assert stored.rollup("a1") == first
+        assert stored.stats()["serving.cache_hit"] == 1
+
+    def test_distinct_keys_do_not_collide(self, stored):
+        assert stored.rollup("a1", "a2") != stored.rollup("a2", "a1")
+        assert stored.stats()["serving.cache_hit"] == 0
+
+    def test_caller_mutation_cannot_poison(self, stored):
+        first = stored.rollup("a1")
+        first.clear()
+        assert stored.rollup("a1") != {}
+
+    def test_pivot_rows_are_copies(self, stored):
+        stored.pivot("a1", "a2")
+        poisoned = stored.pivot("a1", "a2")
+        for row in poisoned.values():
+            row.clear()
+        assert any(stored.pivot("a1", "a2").values())
+
+    def test_lru_eviction(self, relation, tmp_path):
+        run = SPCube(ClusterConfig(num_machines=4)).compute(relation)
+        path = str(tmp_path / "tiny.store")
+        from repro.serving import CubeStore
+
+        CubeStore.write(run.cube, path, aggregate="count")
+        with StoredCubeView.open(path, result_cache_size=2) as view:
+            view.rollup("a1")
+            view.rollup("a2")
+            view.rollup("a3")  # evicts the a1 entry
+            view.rollup("a1")
+            assert view.stats()["serving.cache_hit"] == 0
+            assert view.stats()["serving.cache_miss"] == 4
+
+    def test_custom_top_key_is_uncached(self, stored):
+        # The ranking itself is never cached (the key is a callable),
+        # but the rollup underneath still is: one miss, then hits.
+        stored.top(["a1"], k=2, key=lambda v: -v)
+        stored.top(["a1"], k=2, key=lambda v: -v)
+        assert stored.stats()["serving.cache_miss"] == 1
+        assert stored.stats()["serving.cache_hit"] == 1
+
+    def test_dice_is_uncached(self, stored):
+        stored.dice(a1=lambda v: True)
+        stored.dice(a1=lambda v: True)
+        assert stored.stats()["serving.cache_miss"] == 0
